@@ -1,0 +1,70 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* machine balance -- "our approach is immune to even more memory
+  bandwidth-starved situations" (Sections IV-C / VI);
+* thin domains -- mapping the thin dimension to the leading array
+  dimension shrinks the cache block (Section VI outlook);
+* multi-dimensional intra-tile parallelization vs wavefront-only
+  (Section III-C's central argument).
+"""
+
+import os
+
+from repro.experiments import (
+    ablation_intra_tile,
+    ablation_machine_balance,
+    ablation_thin_domain,
+    format_table,
+    save_json,
+)
+
+
+def test_ablation_machine_balance(run_once, output_dir):
+    rows = run_once(ablation_machine_balance)
+    print()
+    print(format_table(rows, title="Ablation: machine-balance (bandwidth) sweep at 384^3, 18 threads"))
+    save_json(rows, os.path.join(output_dir, "ablation_machine_balance.json"))
+
+    by_bw = {r["bandwidth_GB/s"]: r for r in rows}
+    # Spatial blocking degrades proportionally with bandwidth...
+    assert by_bw[25.0]["spatial_MLUPs"] < 0.6 * by_bw[50.0]["spatial_MLUPs"]
+    # ...while MWD barely moves (decoupled), so the speedup grows.
+    assert by_bw[25.0]["MWD_MLUPs"] > 0.8 * by_bw[50.0]["MWD_MLUPs"]
+    assert by_bw[25.0]["speedup"] > by_bw[50.0]["speedup"]
+    # At generous bandwidth the advantage shrinks.
+    assert by_bw[75.0]["speedup"] < by_bw[37.5]["speedup"]
+
+
+def test_ablation_thin_domain(run_once, output_dir):
+    rows = run_once(ablation_thin_domain)
+    print()
+    print(format_table(rows, title="Ablation: thin-domain mapping (Section VI outlook)"))
+    save_json(rows, os.path.join(output_dir, "ablation_thin_domain.json"))
+
+    thin = next(r for r in rows if r["Nx"] == 32)
+    wide = next(r for r in rows if r["Nx"] == 512)
+    # C_s is proportional to N_x: the thin mapping shrinks the block 16x.
+    assert thin["Cs_MiB"] < wide["Cs_MiB"] / 10
+    assert thin["fits"]
+    # ...but short inner loops cost intra-tile efficiency (the paper's
+    # "less than about 50 cells are inefficient" warning).
+    assert thin["intra_tile_eff"] < wide["intra_tile_eff"]
+
+
+def test_ablation_intra_tile(run_once, output_dir):
+    rows = run_once(ablation_intra_tile)
+    print()
+    print(format_table(rows, title="Ablation: wavefront-only vs multi-dimensional intra-tile split (TG=18)"))
+    save_json(rows, os.path.join(output_dir, "ablation_intra_tile.json"))
+
+    schemes = {str(r["scheme"]).split()[0]: r for r in rows}
+    wf_only = schemes["wavefront-only"]
+    multi = schemes["multi-dim"]
+    # Wavefront-only parallelism forces B_z = 18, so only tiny diamonds
+    # (or none) fit; the multi-dimensional split affords a bigger D_w...
+    assert multi["max_Dw"] == "none fits" or wf_only["max_Dw"] == "none fits" or (
+        multi["max_Dw"] > wf_only["max_Dw"]
+    )
+    # ...and achieves lower measured code balance when both run.
+    if "Bc_measured" in multi and "Bc_measured" in wf_only:
+        assert multi["Bc_measured"] < wf_only["Bc_measured"]

@@ -1,0 +1,44 @@
+"""Fig. 5 reproduction: cache-block-size and code-balance models vs the
+measured (LRU-simulated) code balance of single-threaded wavefront
+diamond blocking at grid 480^3, for D_w in {4, 8, 12, 16} and
+B_z in {1, 6, 9}."""
+
+import os
+
+from repro.experiments import fig5_cache_model, format_table, save_json
+
+
+def test_fig5_cache_model(run_once, output_dir):
+    rows = run_once(fig5_cache_model)
+    print()
+    print(format_table(rows, title="Fig. 5: cache model vs measured code balance (1WD, 1 thread, 480^3)"))
+    save_json(rows, os.path.join(output_dir, "fig5.json"))
+
+    fitting = [r for r in rows if r["fits_usable_L3"]]
+    overflowing = [r for r in rows if not r["fits_usable_L3"]]
+    assert fitting and overflowing
+
+    # Shape 1: while the tile fits the usable L3, the measurement tracks
+    # Eq. 12 (within 15%, typically below it thanks to inter-band reuse).
+    for r in fitting:
+        assert r["Bc_measured"] <= 1.15 * r["Bc_model"], r
+
+    # Shape 2: once the tile overflows, the measurement diverges upward --
+    # gradually near the line, strongly far beyond it (as in Fig. 5).
+    budget_mib = 22.5
+    for r in overflowing:
+        assert r["Bc_measured"] > 1.15 * r["Bc_model"], r
+        if r["Cs_model_MiB"] > 1.6 * budget_mib:
+            assert r["Bc_measured"] > 1.5 * r["Bc_model"], r
+
+    # Shape 3: smaller B_z admits larger diamonds within the budget
+    # (Section III-C's argument for multi-dimensional parallelism).
+    max_fitting_dw = {}
+    for r in fitting:
+        max_fitting_dw[r["Bz"]] = max(max_fitting_dw.get(r["Bz"], 0), r["Dw"])
+    assert max_fitting_dw[1] >= max_fitting_dw[6] >= max_fitting_dw[9]
+
+    # Shape 4: C_s grows with both D_w and B_z (Eq. 11 monotonicity).
+    for bz in (1, 6, 9):
+        series = [r["Cs_model_MiB"] for r in rows if r["Bz"] == bz]
+        assert series == sorted(series)

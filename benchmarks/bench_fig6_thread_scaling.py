@@ -1,0 +1,62 @@
+"""Fig. 6 reproduction: thread scaling of spatial blocking, 1WD and MWD
+at grid 384^3 -- performance (6a), memory bandwidth (6b), code balance
+(6c) and the auto-tuned diamond width (6d)."""
+
+import os
+
+from conftest import by_variant
+from repro.experiments import fig6_thread_scaling, format_table, save_json
+from repro.machine import HASWELL_EP
+
+
+def test_fig6_thread_scaling(run_once, output_dir):
+    rows = run_once(fig6_thread_scaling)
+    print()
+    print(format_table(rows, title="Fig. 6: thread scaling at 384^3"))
+    save_json(rows, os.path.join(output_dir, "fig6.json"))
+
+    spatial = by_variant(rows, "spatial", "threads")
+    owd = by_variant(rows, "1WD", "threads")
+    mwd = by_variant(rows, "MWD", "threads")
+    full = HASWELL_EP.cores
+
+    # 6a/6b shape: spatial saturates the memory interface by ~6 threads
+    # at ~41 MLUP/s.
+    assert abs(spatial[6]["MLUPs"] - 41) < 3
+    assert abs(spatial[full]["MLUPs"] - 41) < 2
+    assert spatial[6]["GB/s"] > 0.95 * HASWELL_EP.bandwidth_gbs
+
+    # 1WD beats spatial at small thread counts (separate cache blocks
+    # relieve the bandwidth pressure)...
+    assert owd[1]["MLUPs"] > spatial[1]["MLUPs"]
+    assert owd[4]["MLUPs"] > spatial[4]["MLUPs"]
+
+    # ...saturates the bandwidth around ten threads (6b)...
+    assert owd[10]["GB/s"] > 0.9 * HASWELL_EP.bandwidth_gbs
+
+    # ...and declines beyond its peak (6a).
+    peak_1wd = max(r["MLUPs"] for r in owd.values())
+    assert owd[full]["MLUPs"] < 0.95 * peak_1wd
+
+    # MWD keeps scaling to the full chip: monotone non-decreasing tail
+    # and >= 3x saturated spatial.
+    assert mwd[full]["MLUPs"] >= mwd[12]["MLUPs"] >= mwd[6]["MLUPs"]
+    assert 3.0 * spatial[full]["MLUPs"] <= mwd[full]["MLUPs"] <= 4.2 * spatial[full]["MLUPs"]
+
+    # 6b: MWD stays decoupled from the bandwidth bottleneck.
+    assert mwd[full]["GB/s"] < 0.85 * HASWELL_EP.bandwidth_gbs
+
+    # 6c: MWD code balance stays in the low few-hundreds window at every
+    # thread count (the paper's 200-400 B/LUP).
+    for r in mwd.values():
+        assert 100 <= r["B/LUP"] <= 450, r
+
+    # 6d: at the full chip, 1WD is pinned at the minimum diamond while
+    # MWD affords a larger one via cache-block sharing.
+    assert owd[full]["Dw"] == 4
+    assert mwd[full]["Dw"] >= 2 * owd[full]["Dw"]
+
+    # Parallel efficiency of MWD on the full chip is in the ~75% ballpark
+    # (paper: "about 75%").
+    eff = mwd[full]["MLUPs"] / (full * mwd[1]["MLUPs"])
+    assert 0.55 < eff < 0.95

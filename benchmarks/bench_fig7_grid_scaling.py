@@ -1,0 +1,60 @@
+"""Fig. 7 reproduction: full-socket performance at increasing cubic grid
+size (64..512) -- performance (7a), auto-tuned intra-tile parameters
+(7b), memory bandwidth (7c) and code balance (7d)."""
+
+import os
+
+from conftest import by_variant
+from repro.experiments import fig7_grid_scaling, format_table, save_json
+from repro.machine import HASWELL_EP
+
+
+def test_fig7_grid_scaling(run_once, output_dir):
+    rows = run_once(fig7_grid_scaling)
+    print()
+    print(format_table(rows, title="Fig. 7: grid-size scaling on the full socket"))
+    save_json(rows, os.path.join(output_dir, "fig7.json"))
+
+    spatial = by_variant(rows, "spatial", "grid")
+    owd = by_variant(rows, "1WD", "grid")
+    mwd = by_variant(rows, "MWD", "grid")
+    large = [g for g in mwd if g >= 256]
+
+    # 7a: MWD delivers 3-4x spatial at the large grid sizes.
+    for g in large:
+        ratio = mwd[g]["MLUPs"] / spatial[g]["MLUPs"]
+        assert 2.8 <= ratio <= 4.5, (g, ratio)
+
+    # 7a: 1WD decays with grid size (growing leading dimension inflates
+    # the per-thread cache block).
+    assert owd[512]["MLUPs"] < owd[128]["MLUPs"]
+
+    # 7a: MWD stays roughly flat across large grids (decoupled).
+    vals = [mwd[g]["MLUPs"] for g in large]
+    assert max(vals) / min(vals) < 1.4
+
+    # 7c: MWD bandwidth stays clearly below the socket limit at large
+    # grids; 1WD pins the interface.
+    for g in large:
+        assert mwd[g]["GB/s"] < 0.9 * HASWELL_EP.bandwidth_gbs, g
+        assert owd[g]["GB/s"] > 0.9 * HASWELL_EP.bandwidth_gbs, g
+
+    # 7d: 1WD's measured code balance grows with grid size (capacity
+    # misses on the growing leading dimension); MWD's stays low.
+    assert owd[512]["B/LUP"] > 1.5 * owd[64]["B/LUP"]
+    for g in large:
+        assert mwd[g]["B/LUP"] < 500, g
+
+    # 7b: the tuner selects sharing (TG > 1) and D_w in 8..16 at large
+    # grids; 1WD is pinned at the minimum diamond.
+    for g in large:
+        assert mwd[g]["TG_size"] > 1, g
+        assert 8 <= mwd[g]["Dw"] <= 32, g
+        assert owd[g]["Dw"] == 4, g
+
+    # 7b: component parallelism (2 or 3 ways) is selected at large grids
+    # ("for all grid sizes, two or three threads are used for the
+    # parallel components update").
+    comp_ways = {int(mwd[g]["TG"].split(".c")[1]) for g in large}
+    assert comp_ways <= {2, 3, 6}
+    assert comp_ways & {2, 3}

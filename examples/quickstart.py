@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: solve a small THIIM problem and run it through the
+wavefront-diamond tiled executor.
+
+Demonstrates the two halves of the library in ~a minute of runtime:
+
+1. the **physics substrate** -- build a grid, illuminate an absorbing
+   layer through a PML, iterate to the time-harmonic state, and read off
+   the absorbed power;
+2. the **MWD tiling core** -- execute the same time steps through the
+   wavefront-diamond plan and verify the fields are bitwise identical to
+   the naive sweep (the correctness contract temporal blocking must
+   honour).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import TiledExecutor, TilingPlan
+from repro.fdfd import (
+    A_SI_H,
+    Grid,
+    PMLSpec,
+    PlaneWaveSource,
+    Scene,
+    THIIMSolver,
+    absorbed_power,
+    poynting_flux_z,
+)
+
+
+def main() -> None:
+    # -- 1. physics: a slab of amorphous silicon under plane-wave light ----
+    grid = Grid(nz=64, ny=12, nx=12, periodic=(False, True, True))
+    wavelength = 16.0  # grid cells; omega = 2 pi / lambda in c=1 units
+    omega = 2 * np.pi / wavelength
+
+    scene = Scene().add_layer(A_SI_H, z_low=32, z_high=52)
+    solver = THIIMSolver(
+        grid,
+        omega,
+        scene=scene,
+        source=PlaneWaveSource(z_plane=14, amplitude=1.0, z_width=2.0),
+        pml={"z": PMLSpec(thickness=10)},
+    )
+
+    print(f"grid {grid.shape}, tau = {solver.tau:.4f}, "
+          f"state = {grid.memory_bytes() / 2**20:.1f} MiB (640 B/cell)")
+
+    result = solver.solve(tol=1e-5, max_steps=3000, check_every=100)
+    print(f"converged = {result.converged} after {result.iterations} steps "
+          f"(residual {result.residual:.2e})")
+
+    mask = solver.material_mask("a-Si:H")
+    absorbed = absorbed_power(solver.fields, solver.sigma, mask=mask)
+    incident = poynting_flux_z(solver.fields, 20)
+    print(f"power into the stack:   {incident:9.4f}")
+    print(f"absorbed in a-Si layer: {absorbed:9.4f} "
+          f"({100 * absorbed / incident:.1f}% of incident)")
+
+    # -- 2. tiling: the same physics through the MWD traversal --------------
+    # Diamond tiling needs non-periodic y/z (the paper's benchmark uses
+    # homogeneous Dirichlet boundaries for exactly this reason), so the
+    # demo runs the stack in a closed box.
+    steps = 40
+    box = Grid(nz=64, ny=12, nx=12)
+    reference = THIIMSolver(
+        box, omega, scene=scene,
+        source=PlaneWaveSource(z_plane=14, amplitude=1.0, z_width=2.0),
+        pml={"z": PMLSpec(thickness=10)},
+    )
+    tiled = THIIMSolver(
+        box, omega, scene=scene,
+        source=PlaneWaveSource(z_plane=14, amplitude=1.0, z_width=2.0),
+        pml={"z": PMLSpec(thickness=10)},
+    )
+    reference.run(steps)
+
+    plan = TilingPlan.build(ny=box.ny, nz=box.nz, timesteps=steps, dw=4, bz=3)
+    print(f"\n{plan.describe()}")
+    executor = TiledExecutor(tiled.fields, tiled.coefficients, plan)
+    executor.run_interleaved(np.random.default_rng(0))  # any DAG order works
+
+    diff = reference.fields.max_abs_difference(tiled.fields)
+    print(f"tiled vs naive max |diff| = {diff:.1e}  "
+          f"({executor.jobs_done} row jobs, {executor.lups_done} cell updates)")
+    assert diff == 0.0, "tiled execution must equal the naive sweep"
+    print("OK: wavefront-diamond execution is exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Absorption spectrum of a single-junction cell: a miniature version of
+the production campaign the paper motivates ("about 80-160 simulations
+are needed to cover the whole visible wavelength spectrum for only a
+single solar cell configuration").
+
+Sweeps the illumination wavelength, re-solving THIIM at each point, and
+prints the absorber's spectral absorption plus an estimate of how long
+the campaign would take on the simulated Haswell with spatial blocking
+vs. MWD -- the turnaround argument of the paper's conclusion.
+
+Run:  python examples/wavelength_sweep.py       (about a minute)
+"""
+
+import numpy as np
+
+from repro.core import tune_spatial, tune_tiled
+from repro.fdfd import (
+    A_SI_H,
+    SILVER,
+    TCO_ZNO,
+    Grid,
+    PMLSpec,
+    PlaneWaveSource,
+    Scene,
+    THIIMSolver,
+    absorbed_power,
+    poynting_flux_z,
+)
+from repro.machine import HASWELL_EP
+
+
+def absorption_at(grid: Grid, scene: Scene, wavelength: float) -> tuple[float, int]:
+    omega = 2 * np.pi / wavelength
+    solver = THIIMSolver(
+        grid,
+        omega,
+        scene=scene,
+        source=PlaneWaveSource(z_plane=12, amplitude=1.0, z_width=2.0),
+        pml={"z": PMLSpec(thickness=8)},
+    )
+    result = solver.solve(tol=5e-5, max_steps=2500, check_every=100)
+    mask = solver.material_mask("a-Si:H")
+    absorbed = absorbed_power(solver.fields, solver.sigma, mask=mask)
+    incident = poynting_flux_z(solver.fields, 16)
+    frac = absorbed / incident if incident > 0 else 0.0
+    return frac, result.iterations
+
+
+def main() -> None:
+    grid = Grid(nz=64, ny=8, nx=8, periodic=(False, True, True))
+    scene = (
+        Scene()
+        .add_layer(TCO_ZNO, 24, 28)
+        .add_layer(A_SI_H, 28, 44)
+        .add_layer(SILVER, 50, 64)
+    )
+
+    wavelengths = np.linspace(10.0, 24.0, 8)
+    print(f"{'lambda':>7s} {'A(a-Si)':>9s} {'steps':>6s}")
+    total_steps = 0
+    spectrum = []
+    for lam in wavelengths:
+        frac, steps = absorption_at(grid, scene, float(lam))
+        total_steps += steps
+        spectrum.append(frac)
+        bar = "#" * int(40 * min(max(frac, 0), 1))
+        print(f"{lam:7.1f} {100 * frac:8.1f}% {steps:6d}  {bar}")
+
+    assert all(np.isfinite(spectrum))
+    print(f"\ncampaign: {len(wavelengths)} wavelengths, {total_steps} THIIM steps total")
+
+    # Turnaround on the simulated Haswell, production grid 384^3:
+    lups_per_run = 384**3 * 1000  # a production run is ~1000 steps
+    spatial = tune_spatial(HASWELL_EP, 384, HASWELL_EP.cores)
+    mwd = tune_tiled(HASWELL_EP, 384, HASWELL_EP.cores)
+    n_runs = 160  # the paper's upper count for one configuration
+    t_spatial = n_runs * lups_per_run / (spatial.mlups * 1e6)
+    t_mwd = n_runs * lups_per_run / (mwd.mlups * 1e6)
+    print(f"projected campaign time at 384^3 x {n_runs} runs on the "
+          f"simulated 18-core Haswell:")
+    print(f"  spatial blocking: {t_spatial / 3600:6.2f} h  ({spatial.mlups:.0f} MLUP/s)")
+    print(f"  MWD             : {t_mwd / 3600:6.2f} h  ({mwd.mlups:.0f} MLUP/s)  "
+          f"-> {t_spatial / t_mwd:.1f}x faster turnaround")
+
+
+if __name__ == "__main__":
+    main()

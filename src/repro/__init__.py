@@ -1,0 +1,42 @@
+"""repro -- reproduction of "Optimization of an Electromagnetics Code with
+Multicore Wavefront Diamond Blocking and Multi-dimensional Intra-Tile
+Parallelization" (Malas et al., IPDPS 2016).
+
+Subpackages
+-----------
+``repro.fdfd``
+    The THIIM/FDFD Maxwell solver substrate (the paper's production
+    workload): Yee grid, twelve split-field components, split-field PML,
+    materials, solar-cell geometry, sources, observables.
+``repro.core``
+    The paper's contribution: multicore wavefront diamond (MWD) temporal
+    blocking -- diamond tiling, wavefront extrusion, dependency-checked
+    tiled execution, thread groups with multi-dimensional intra-tile
+    parallelization, FIFO dynamic scheduling, analytic cache/traffic
+    models and the auto-tuner.
+``repro.machine``
+    Simulated multicore machine (the hardware substitution documented in
+    DESIGN.md): machine specs, LRU shared-cache simulation, LIKWID-style
+    performance counters and a discrete-event execution simulator.
+``repro.experiments``
+    Regeneration of every table and figure of the paper's evaluation.
+"""
+
+from . import fdfd
+
+__version__ = "1.0.0"
+
+__all__ = ["fdfd", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy subpackage access: ``repro.core`` / ``repro.machine`` /
+    # ``repro.experiments`` / ``repro.cluster`` / ``repro.io`` import on
+    # first touch (keeps ``import repro`` light for solver-only users).
+    if name in ("core", "machine", "experiments", "cluster", "io", "cli"):
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

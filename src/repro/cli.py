@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows::
+
+    repro solve    --preset absorber --grid 48 --wavelength 12 --tol 1e-5
+    repro tune     --grid 384 --threads 18 --variant mwd
+    repro figures  --which fig6 --out results/
+    repro plan     --ny 64 --nz 64 --steps 16 --dw 8 --bz 4
+
+``repro`` is installed as a console script; :func:`main` accepts an
+``argv`` list so the tests can drive it in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="THIIM electromagnetics + multicore wavefront diamond blocking (IPDPS'16 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("solve", help="run a THIIM solve on a preset scene")
+    s.add_argument("--preset", choices=("vacuum", "absorber", "mirror", "tandem"),
+                   default="absorber")
+    s.add_argument("--grid", type=int, default=48, help="cells per axis (z gets 2x)")
+    s.add_argument("--wavelength", type=float, default=12.0)
+    s.add_argument("--tol", type=float, default=1e-5)
+    s.add_argument("--max-steps", type=int, default=3000)
+    s.add_argument("--tiled", action="store_true",
+                   help="advance through the wavefront-diamond traversal")
+    s.add_argument("--dw", type=int, default=4)
+    s.add_argument("--bz", type=int, default=2)
+    s.add_argument("--save", metavar="FILE.npz", help="checkpoint the final fields")
+    s.add_argument("--vtk", metavar="FILE.vtk", help="export |E|,|H| for visualization")
+
+    t = sub.add_parser("tune", help="auto-tune blocking parameters on the machine model")
+    t.add_argument("--grid", type=int, default=384)
+    t.add_argument("--threads", type=int, default=18)
+    t.add_argument("--variant", choices=("spatial", "1wd", "mwd"), default="mwd")
+    t.add_argument("--tg-size", type=int, default=None,
+                   help="pin the thread-group size (kWD)")
+    t.add_argument("--bandwidth", type=float, default=None,
+                   help="override the socket bandwidth in GB/s")
+
+    f = sub.add_parser("figures", help="regenerate paper exhibits")
+    f.add_argument("--which", choices=("section3", "fig5", "fig6", "fig7", "fig8", "ablations"),
+                   default="section3")
+    f.add_argument("--out", default=None, help="directory for JSON artifacts")
+    f.add_argument("--quick", action="store_true",
+                   help="reduced sweeps (for smoke testing)")
+
+    pl = sub.add_parser("plan", help="build + validate a tiling plan")
+    pl.add_argument("--ny", type=int, required=True)
+    pl.add_argument("--nz", type=int, required=True)
+    pl.add_argument("--steps", type=int, required=True)
+    pl.add_argument("--dw", type=int, required=True)
+    pl.add_argument("--bz", type=int, default=1)
+    return p
+
+
+def _cmd_solve(args) -> int:
+    from .core.tiled_solver import TiledTHIIM
+    from .fdfd import (
+        A_SI_H, SILVER, TCO_ZNO, UC_SI_H, Grid, PMLSpec, PlaneWaveSource,
+        Scene, THIIMSolver, absorbed_power, poynting_flux_z,
+    )
+
+    n = args.grid
+    nz = 2 * n
+    # Tiled traversal needs non-periodic y/z.
+    periodic = (False, not args.tiled, not args.tiled)
+    grid = Grid(nz=nz, ny=n, nx=n, periodic=periodic)
+    omega = 2 * np.pi / args.wavelength
+
+    scene = None
+    if args.preset == "absorber":
+        scene = Scene().add_layer(A_SI_H, nz // 2, nz - nz // 4)
+    elif args.preset == "mirror":
+        scene = Scene().add_layer(SILVER, nz - nz // 3, nz)
+    elif args.preset == "tandem":
+        scene = (
+            Scene()
+            .add_layer(TCO_ZNO, int(0.30 * nz), int(0.36 * nz))
+            .add_layer(A_SI_H, int(0.36 * nz), int(0.44 * nz))
+            .add_layer(UC_SI_H, int(0.44 * nz), int(0.70 * nz))
+            .add_layer(SILVER, int(0.74 * nz), nz)
+        )
+
+    solver = THIIMSolver(
+        grid, omega, scene=scene,
+        source=PlaneWaveSource(z_plane=max(nz // 8, 12), z_width=2.0),
+        pml={"z": PMLSpec(thickness=max(nz // 10, 6))},
+    )
+    print(f"solve: preset={args.preset} grid={grid.shape} omega={omega:.4f} "
+          f"tau={solver.tau:.4f} tiled={args.tiled}")
+
+    if args.tiled:
+        driver = TiledTHIIM(solver, dw=args.dw, bz=args.bz)
+        result = driver.solve(tol=args.tol, max_steps=args.max_steps)
+        print(driver.describe())
+    else:
+        result = solver.solve(tol=args.tol, max_steps=args.max_steps)
+
+    status = "converged" if result.converged else "NOT converged"
+    print(f"{status} after {result.iterations} steps (residual {result.residual:.3e})")
+    if scene is not None:
+        total = absorbed_power(solver.fields, solver.sigma)
+        inc = poynting_flux_z(solver.fields, max(nz // 8, 12) + 4)
+        print(f"absorbed power: {total:.4f} (incident {inc:.4f})")
+
+    if args.save:
+        from .io import save_state
+        print(f"checkpoint -> {save_state(solver.fields, args.save)}")
+    if args.vtk:
+        from .io import export_vtk
+        print(f"vtk -> {export_vtk(solver.fields, args.vtk)}")
+    return 0 if result.converged else 2
+
+
+def _cmd_tune(args) -> int:
+    from .core.autotuner import tune_spatial, tune_tiled
+    from .machine import HASWELL_EP
+
+    spec = HASWELL_EP
+    if args.bandwidth:
+        spec = spec.with_bandwidth(args.bandwidth)
+    print(f"machine: {spec.name} ({spec.cores} cores, {spec.bandwidth_gbs:g} GB/s)")
+
+    if args.variant == "spatial":
+        point = tune_spatial(spec, args.grid, args.threads)
+    elif args.variant == "1wd":
+        point = tune_tiled(spec, args.grid, args.threads, tg_size=1, variant="1WD")
+    else:
+        point = tune_tiled(spec, args.grid, args.threads, tg_size=args.tg_size)
+    if point is None:
+        print("no feasible configuration")
+        return 2
+    print(point.describe())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from . import experiments as ex
+
+    quick = args.quick
+    if args.which == "section3":
+        rows = ex.section3_table()
+        title = "Section III"
+    elif args.which == "fig5":
+        rows = ex.fig5_cache_model(
+            dw_values=(4, 8) if quick else (4, 8, 12, 16),
+            bz_values=(1,) if quick else (1, 6, 9),
+        )
+        title = "Fig. 5"
+    elif args.which == "fig6":
+        rows = ex.fig6_thread_scaling(threads=(1, 6, 18) if quick else None)
+        title = "Fig. 6"
+    elif args.which == "fig7":
+        rows = ex.fig7_grid_scaling(grids=(64, 192) if quick else ex.GRIDS)
+        title = "Fig. 7"
+    elif args.which == "fig8":
+        rows = ex.fig8_tg_size(
+            tg_sizes=(1, 18) if quick else (1, 2, 6, 9, 18),
+            grids=(64, 192) if quick else ex.GRIDS,
+        )
+        title = "Fig. 8"
+    else:
+        rows = ex.ablation_machine_balance(bandwidths=(25.0, 50.0) if quick else (25.0, 37.5, 50.0, 75.0))
+        rows += ex.ablation_thin_domain()
+        title = "Ablations"
+    print(ex.format_table(rows, title=title))
+    if args.out:
+        import os
+        path = os.path.join(args.out, f"{args.which}.json")
+        ex.save_json(rows, path)
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .core import TilingPlan
+
+    plan = TilingPlan.build(ny=args.ny, nz=args.nz, timesteps=args.steps,
+                            dw=args.dw, bz=args.bz)
+    plan.validate()
+    print(plan.describe())
+    print("dependency check: OK (every read at the exact time level)")
+    interior = plan.interior_tiles()
+    if interior:
+        t = interior[0]
+        print(f"interior diamond: {t.n_nodes} nodes, {t.lups:.0f} LUPs/column, "
+              f"rows {t.rows[0].field}...{t.rows[-1].field}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "tune": _cmd_tune,
+        "figures": _cmd_figures,
+        "plan": _cmd_plan,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Distributed-memory layer (simulated ranks).
+
+The paper's production code is hybrid MPI+OpenMP; its Section VI
+discusses decomposition geometry (non-contiguous x halos, thin domains).
+This package provides the Cartesian decomposition with a communication
+cost model and a functional halo-exchanged solver over simulated ranks
+that reproduces the single-domain sweep bit for bit.
+"""
+
+from .decomposition import CommCostModel, RankLayout, Subdomain, choose_decomposition
+from .distributed import CommStats, DistributedTHIIM
+
+__all__ = [
+    "CommCostModel",
+    "CommStats",
+    "DistributedTHIIM",
+    "RankLayout",
+    "Subdomain",
+    "choose_decomposition",
+]

@@ -1,0 +1,83 @@
+"""Multicore wavefront diamond (MWD) temporal blocking -- the paper's
+primary contribution.
+
+The pieces:
+
+* :mod:`repro.core.diamond` -- exact diamond tessellation of the
+  (time, y) plane for the split H/E dependency structure;
+* :mod:`repro.core.wavefront` -- extrusion along z as a multi-level
+  wavefront with block width ``B_z``;
+* :mod:`repro.core.deps` -- node-level dependency rules + schedule
+  validity checker (the correctness oracle);
+* :mod:`repro.core.plan` -- tile sets, dependency DAG, job streams;
+* :mod:`repro.core.queue` -- the FIFO dynamic tile scheduler;
+* :mod:`repro.core.executor` -- dependency-ordered execution of the real
+  kernels (must equal the naive sweep);
+* :mod:`repro.core.threadgroups` -- thread groups and multi-dimensional
+  intra-tile parallelization;
+* :mod:`repro.core.models` -- the analytic cache-block-size and
+  code-balance models (Eqs. 8-12 of the paper);
+* :mod:`repro.core.autotuner` -- parameter search pruned by the cache
+  model and scored on the machine simulator.
+"""
+
+from .autotuner import TunedPoint, tune_spatial, tune_tiled
+from .deps import DependencyChecker, DependencyError, validate_jobs
+from .diamond import DiamondTile, RowSpan, enumerate_tiles, node_tile_index
+from .executor import TiledExecutor
+from .models import (
+    arithmetic_intensity,
+    bandwidth_limited_mlups,
+    cache_block_size,
+    diamond_code_balance,
+    max_diamond_width,
+    naive_code_balance,
+    spatial_code_balance,
+    usable_cache_bytes,
+    wavefront_tile_width,
+)
+from .plan import TilingPlan
+from .queue import TileQueue
+from .threadgroups import (
+    ThreadGroupConfig,
+    WorkItem,
+    divisors,
+    enumerate_tg_configs,
+    work_assignment,
+)
+from .tiled_solver import TiledTHIIM
+from .wavefront import RowJob, level_offsets, tile_row_jobs, wavefront_width
+
+__all__ = [
+    "DependencyChecker",
+    "DependencyError",
+    "DiamondTile",
+    "RowJob",
+    "RowSpan",
+    "ThreadGroupConfig",
+    "TileQueue",
+    "TiledTHIIM",
+    "TiledExecutor",
+    "TilingPlan",
+    "TunedPoint",
+    "WorkItem",
+    "arithmetic_intensity",
+    "bandwidth_limited_mlups",
+    "cache_block_size",
+    "diamond_code_balance",
+    "divisors",
+    "enumerate_tg_configs",
+    "enumerate_tiles",
+    "level_offsets",
+    "max_diamond_width",
+    "naive_code_balance",
+    "node_tile_index",
+    "spatial_code_balance",
+    "tile_row_jobs",
+    "tune_spatial",
+    "tune_tiled",
+    "usable_cache_bytes",
+    "validate_jobs",
+    "wavefront_tile_width",
+    "work_assignment",
+]

@@ -1,0 +1,199 @@
+"""Auto-tuner for the blocking parameters (Section II-A of the paper).
+
+"We use the auto-tuner in the Girih system to select the diamond tile
+size, the wavefront tile width, and the TG size in all dimensions to
+achieve the best performance.  To shorten the auto-tuning process, the
+parameter search space is narrowed down to diamond tiles that fit within
+a predefined cache size range using a cache block size model."
+
+The search space per variant:
+
+* **spatial** -- the y block size of the spatially blocked sweep;
+* **1WD** -- thread-group size fixed at 1 (each thread owns a tile);
+  diamond width and wavefront width searched under the per-thread cache
+  budget;
+* **kWD / MWD** -- thread-group sizes among the divisors of the thread
+  count (MWD searches all; kWD pins one), wavefront width, diamond width
+  and the multi-dimensional intra-tile split.
+
+Pruning: for each (TG size, B_z) only diamond widths whose *total*
+concurrent footprint ``n_groups * C_s(D_w, B_z)`` stays within a slack
+factor of the usable L3 are evaluated (Eq. 11); the slack lets the
+measured cache behaviour decide borderline cases.  Scoring runs the
+measured code balance through the execution simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from ..machine.measure import measure_sweep_code_balance, measure_tiled_code_balance
+from ..machine.simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
+from ..machine.spec import MachineSpec
+from .models import cache_block_size, max_diamond_width
+from .plan import TilingPlan
+from .threadgroups import ThreadGroupConfig, divisors, enumerate_tg_configs
+
+__all__ = ["TunedPoint", "tune_spatial", "tune_tiled", "simulate_grid_lups"]
+
+#: Wavefront widths explored by the tuner (the paper's Fig. 5 uses 1/6/9).
+BZ_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 6, 9)
+#: Diamond widths explored.  Girih's minimum is 4 (Section III-C: "the
+#: minimum diamond width D_w = 4"); when not even that fits the cache
+#: budget the code still runs D_w = 4 and thrashes -- which is exactly the
+#: 1WD performance drop beyond ~12 cores in Fig. 6.
+DW_MIN = 4
+DW_CAP = 32
+#: Cache-model pruning slack: candidates up to this factor above the
+#: usable-cache budget are still measured (the LRU decides).
+CACHE_SLACK = 1.1
+#: Per-(TG size, B_z) only the largest fitting widths are scored.
+TOP_DW_PER_BZ = 2
+
+
+@dataclass(frozen=True)
+class TunedPoint:
+    """One tuned configuration and its simulated performance."""
+
+    variant: str
+    threads: int
+    result: SimResult
+    code_balance: float
+    dw: int | None = None
+    bz: int | None = None
+    tg: ThreadGroupConfig | None = None
+    block_y: int | None = None
+
+    @property
+    def mlups(self) -> float:
+        return self.result.mlups
+
+    @property
+    def tg_size(self) -> int:
+        return self.tg.size if self.tg else 1
+
+    def describe(self) -> str:
+        bits = [f"{self.variant}@{self.threads}t: {self.mlups:.1f} MLUP/s",
+                f"{self.result.bandwidth_gbs:.1f} GB/s",
+                f"{self.code_balance:.0f} B/LUP"]
+        if self.dw is not None:
+            bits.append(f"Dw={self.dw} Bz={self.bz} TG={self.tg.label() if self.tg else '1'}")
+        if self.block_y is not None:
+            bits.append(f"block_y={self.block_y}")
+        return "  ".join(bits)
+
+
+def grid_lups(n: int, timesteps: int = 100) -> float:
+    return float(n) ** 3 * timesteps
+
+
+@lru_cache(maxsize=512)
+def tune_spatial(spec: MachineSpec, grid_n: int, threads: int) -> TunedPoint:
+    """Best spatially blocked configuration at a thread count."""
+    best: TunedPoint | None = None
+    m = spec.with_cores(threads) if threads != spec.cores else spec
+    for block_y in (4, 8, 16, 32, 64):
+        if block_y > grid_n:
+            continue
+        traffic = measure_sweep_code_balance(
+            spec, nx=grid_n, ny=grid_n, block_y=block_y, threads=threads
+        )
+        res = simulate_sweep(
+            m, threads, traffic.bytes_per_lup, lups=grid_lups(grid_n),
+            label=f"spatial by={block_y}",
+        )
+        point = TunedPoint(
+            variant="spatial", threads=threads, result=res,
+            code_balance=traffic.bytes_per_lup, block_y=block_y,
+        )
+        if best is None or point.mlups > best.mlups:
+            best = point
+    assert best is not None
+    return best
+
+
+def _dw_candidates(n_groups: int, bz: int, nx: int, budget: float) -> List[int]:
+    """Largest diamond widths whose total footprint fits the budget.
+
+    Falls back to the implementation minimum ``D_w = 4`` when nothing
+    fits: the code then runs with an overflowing cache block, and the
+    *measured* code balance (not the model) prices the thrashing.
+    """
+    per_tile = budget * CACHE_SLACK / n_groups
+    top = max_diamond_width(bz, nx, per_tile, dw_cap=DW_CAP)
+    if top is None or top < DW_MIN:
+        return [DW_MIN]
+    out = [top]
+    for k in range(1, TOP_DW_PER_BZ):
+        if top - 2 * k >= DW_MIN:
+            out.append(top - 2 * k)
+    return out
+
+
+@lru_cache(maxsize=2048)
+def tune_tiled(
+    spec: MachineSpec,
+    grid_n: int,
+    threads: int,
+    tg_size: int | None = None,
+    variant: str | None = None,
+    sim_steps_factor: int = 2,
+) -> TunedPoint | None:
+    """Best wavefront-diamond configuration at a thread count.
+
+    ``tg_size=None`` searches all divisors of ``threads`` (MWD);
+    ``tg_size=1`` is 1WD; a fixed k gives the paper's kWD variants.
+    Returns ``None`` when no diamond fits the cache at all.
+    """
+    nx = ny = nz = grid_n
+    machine = spec.with_cores(threads) if threads != spec.cores else spec
+    if tg_size:
+        sizes = [tg_size]
+    else:
+        # Group sizes need not divide the thread count: the scheduler may
+        # leave `threads mod s` cores idle (important at prime counts,
+        # where the only exact divisors force degenerate splits).
+        nice = {1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 14, 16, 18}
+        sizes = sorted(s for s in nice | set(divisors(threads)) if s <= threads)
+    budget = spec.usable_l3_bytes
+    best: TunedPoint | None = None
+    for s in sizes:
+        n_groups = threads // s
+        if n_groups < 1:
+            continue
+        for bz in BZ_CANDIDATES:
+            if bz > nz:
+                continue
+            configs = list(enumerate_tg_configs(s, bz, nx))
+            if not configs:
+                continue
+            for dw in _dw_candidates(n_groups, bz, nx, budget):
+                if dw > ny:
+                    continue
+                cfg = max(configs, key=lambda c: tg_efficiency(c, nx=nx, nz=nz, bz=bz))
+                traffic = measure_tiled_code_balance(
+                    spec, nx=nx, dw=dw, bz=bz, n_streams=n_groups
+                )
+                plan = TilingPlan.build(
+                    ny=ny, nz=nz, timesteps=max(sim_steps_factor * dw, 8), dw=dw, bz=bz
+                )
+                res = simulate_tiled(
+                    machine, plan, nx=nx, tg_config=cfg,
+                    code_balance=traffic.bytes_per_lup,
+                )
+                point = TunedPoint(
+                    variant=variant or (f"{s}WD" if tg_size else "MWD"),
+                    threads=threads, result=res,
+                    code_balance=traffic.bytes_per_lup,
+                    dw=dw, bz=bz, tg=cfg,
+                )
+                if best is None or point.mlups > best.mlups:
+                    best = point
+    return best
+
+
+def simulate_grid_lups(point: TunedPoint, grid_n: int, timesteps: int = 100) -> SimResult:
+    """Rescale a tuned point's steady-state rates to a full problem."""
+    return point.result.scaled_to(grid_lups(grid_n, timesteps))

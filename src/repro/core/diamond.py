@@ -1,0 +1,212 @@
+"""Diamond tile geometry for the THIIM stencil.
+
+The paper tiles the (y, time) plane with diamonds (Fig. 2), splitting the
+H and E updates because their dependencies point in opposite directions
+(Fig. 3).  This module gives that construction an exact integer
+formulation.
+
+Sub-step lattice
+----------------
+Time is refined to *sub-steps* ``tau = 0, 1, 2, ...``: even ``tau`` is a
+magnetic half step (producing ``H^{tau/2 + 1/2}``), odd ``tau`` an
+electric half step (producing ``E^{(tau+1)/2}``).  A *node* ``(tau, y)``
+is the update of all six components of that class at grid row ``y`` (the
+z and x extents of a node are handled by the wavefront traversal and the
+vectorized kernels respectively).
+
+Physical coordinates
+--------------------
+On the staggered grid the H rows physically sit half a cell above the E
+rows.  Writing ``p = y`` for E nodes and ``p = y + 1/2`` for H nodes, the
+dependency rule of Fig. 3 becomes *symmetric*: node ``(tau, p)`` reads the
+other field class at ``(tau - 1, p - 1/2)`` and ``(tau - 1, p + 1/2)``
+and itself at ``(tau - 2, p)``.
+
+Diamond tessellation
+--------------------
+In the sheared coordinates ``u = tau/2 + p`` and ``v = tau/2 - p`` every
+dependency points in the non-increasing ``(u, v)`` direction, and the
+plane tiles exactly into squares of side ``Dw``::
+
+    tile(i, j) = { (tau, p) : i*Dw <= u < (i+1)*Dw,  j*Dw <= v < (j+1)*Dw }
+
+which in the (tau, y) plane is precisely the paper's diamond: height
+``Dw`` full time steps, footprint ``Dw`` rows for H and ``Dw - 1`` rows
+for E (the counts of Eq. 12), first and last row an E update (Fig. 2),
+area ``Dw^2 / 2`` lattice-site updates.  Tile ``(i, j)`` depends only on
+``(i-1, j)``, ``(i, j-1)`` and ``(i-1, j-1)``.
+
+All arithmetic below is integer-exact: with ``P = 2p`` the tile
+membership test is ``2*i*Dw <= tau + P < 2*(i+1)*Dw`` and
+``2*j*Dw <= tau - P < 2*(j+1)*Dw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["RowSpan", "DiamondTile", "enumerate_tiles", "node_tile_index"]
+
+
+@dataclass(frozen=True)
+class RowSpan:
+    """The nodes of one sub-step inside a tile: rows ``y in [y_lo, y_hi)``.
+
+    ``tau`` even -> magnetic half step, odd -> electric half step.
+    """
+
+    tau: int
+    y_lo: int
+    y_hi: int
+
+    @property
+    def is_h(self) -> bool:
+        return self.tau % 2 == 0
+
+    @property
+    def field(self) -> str:
+        return "H" if self.is_h else "E"
+
+    @property
+    def width(self) -> int:
+        return self.y_hi - self.y_lo
+
+    @property
+    def time_step(self) -> int:
+        """The full time-step index this sub-step belongs to."""
+        return self.tau // 2
+
+
+@dataclass(frozen=True)
+class DiamondTile:
+    """One (possibly clipped) diamond tile of the tessellation."""
+
+    i: int
+    j: int
+    dw: int
+    rows: Tuple[RowSpan, ...]
+
+    @property
+    def index(self) -> Tuple[int, int]:
+        return (self.i, self.j)
+
+    @property
+    def band(self) -> int:
+        """Execution band ``i + j``: tiles of equal band are mutually
+        independent; band ``b`` tiles depend only on bands ``< b``."""
+        return self.i + self.j
+
+    @property
+    def tau_lo(self) -> int:
+        return self.rows[0].tau
+
+    @property
+    def tau_hi(self) -> int:
+        return self.rows[-1].tau
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(r.width for r in self.rows)
+
+    @property
+    def lups(self) -> float:
+        """Full lattice-site updates in the tile (a LUP = one E plus one H
+        node at a cell, so each node contributes half a LUP)."""
+        return self.n_nodes / 2.0
+
+    @property
+    def y_footprint(self) -> Tuple[int, int]:
+        """Row range ``[lo, hi)`` touched by any sub-step of the tile."""
+        return (min(r.y_lo for r in self.rows), max(r.y_hi for r in self.rows))
+
+    @property
+    def is_interior(self) -> bool:
+        """True for an unclipped diamond (full height, full waist)."""
+        return (
+            self.rows[0].tau % 2 == 1
+            and len(self.rows) == 2 * self.dw - 1
+            and max(r.width for r in self.rows) == self.dw
+        )
+
+    def predecessors(self) -> Tuple[Tuple[int, int], ...]:
+        """Tile indices this tile may depend on (before clipping)."""
+        return ((self.i - 1, self.j), (self.i, self.j - 1), (self.i - 1, self.j - 1))
+
+
+def _tile_rows(i: int, j: int, dw: int, ny: int, total_substeps: int) -> List[RowSpan]:
+    """Enumerate the row spans of tile (i, j), clipped to the domain."""
+    rows: List[RowSpan] = []
+    two_dw = 2 * dw
+    tau_lo = max((i + j) * dw, 0)
+    tau_hi = min((i + j + 2) * dw - 1, total_substeps - 1)
+    for tau in range(tau_lo, tau_hi + 1):
+        # P = 2p constraints: closed/open bounds from u, open/closed from v.
+        p_lo = max(two_dw * i - tau, tau - two_dw * (j + 1) + 1)
+        p_hi = min(two_dw * (i + 1) - tau - 1, tau - two_dw * j)
+        if p_lo > p_hi:
+            continue
+        parity = 1 if tau % 2 == 0 else 0  # H rows have odd P = 2y + 1
+        # Smallest P >= p_lo with the right parity.
+        first = p_lo + ((parity - p_lo) % 2)
+        if first > p_hi:
+            continue
+        if parity:  # H: y = (P - 1) / 2
+            y_lo = (first - 1) // 2
+            y_hi = (p_hi - 1) // 2 + 1
+        else:  # E: y = P / 2
+            y_lo = first // 2
+            y_hi = p_hi // 2 + 1
+        y_lo = max(y_lo, 0)
+        y_hi = min(y_hi, ny)
+        if y_lo < y_hi:
+            rows.append(RowSpan(tau, y_lo, y_hi))
+    return rows
+
+
+def enumerate_tiles(ny: int, timesteps: int, dw: int) -> Dict[Tuple[int, int], DiamondTile]:
+    """All non-empty (clipped) diamond tiles for ``timesteps`` full steps.
+
+    Parameters
+    ----------
+    ny:
+        Rows along the diamond (middle) dimension.
+    timesteps:
+        Full time steps to cover; the sub-step range is ``[0, 2*timesteps)``.
+    dw:
+        Diamond width; must be an even integer >= 2 (the paper uses 4, 8,
+        12, 16).
+
+    Returns
+    -------
+    dict
+        ``(i, j) -> DiamondTile`` containing every node exactly once.
+    """
+    if dw < 2 or dw % 2:
+        raise ValueError(f"diamond width must be an even integer >= 2, got {dw}")
+    if ny < 1:
+        raise ValueError("ny must be >= 1")
+    if timesteps < 1:
+        raise ValueError("timesteps must be >= 1")
+    total_substeps = 2 * timesteps
+
+    # Index bounds: u = (tau + P)/2 in [0, timesteps + ny), and
+    # v = (tau - P)/2 in (-ny, timesteps).
+    i_lo = 0
+    i_hi = (timesteps + ny) // dw + 1
+    j_lo = -((ny + dw - 1) // dw) - 1
+    j_hi = timesteps // dw + 1
+
+    tiles: Dict[Tuple[int, int], DiamondTile] = {}
+    for i in range(i_lo, i_hi + 1):
+        for j in range(j_lo, j_hi + 1):
+            rows = _tile_rows(i, j, dw, ny, total_substeps)
+            if rows:
+                tiles[(i, j)] = DiamondTile(i=i, j=j, dw=dw, rows=tuple(rows))
+    return tiles
+
+
+def node_tile_index(tau: int, y: int, is_h: bool, dw: int) -> Tuple[int, int]:
+    """The tile owning node ``(tau, y)`` (for tests and diagnostics)."""
+    p2 = 2 * y + (1 if is_h else 0)
+    return ((tau + p2) // (2 * dw), (tau - p2) // (2 * dw))

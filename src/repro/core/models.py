@@ -1,0 +1,159 @@
+"""Analytic performance models of the paper (Section III).
+
+Implements, exactly as printed:
+
+* Eq. 8  -- naive code balance (1344 bytes/LUP at large problem sizes);
+* Eq. 9  -- spatially blocked code balance (1216 bytes/LUP);
+* Eq. 10 -- bandwidth-limited performance ``P_mem = b_S / B_C``
+  (41 MLUP/s on the 50 GB/s Haswell);
+* Eq. 11 -- cache block size of an extruded wavefront-diamond tile
+  (``C_s = 14912 * N_x`` bytes at ``D_w = 4, B_z = 4``);
+* Eq. 12 -- diamond-tiled code balance as a function of ``D_w``;
+
+plus the derived quantities used by the auto-tuner: arithmetic
+intensities, the usable-cache rule of thumb (half the L3), and the
+largest diamond width that fits a cache budget.
+
+Unit conventions follow the paper: a LUP is one full lattice-site update
+(all 12 component updates at one cell); a "number" in Eqs. 8/9 is one
+double-precision word (8 bytes), and the factor 16 in Eqs. 11/12 is the
+size of one double-complex value.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..fdfd.specs import FLOPS_PER_LUP
+
+__all__ = [
+    "naive_code_balance",
+    "spatial_code_balance",
+    "arithmetic_intensity",
+    "bandwidth_limited_mlups",
+    "diamond_code_balance",
+    "cache_block_size",
+    "usable_cache_bytes",
+    "max_diamond_width",
+    "diamond_lups",
+    "wavefront_tile_width",
+]
+
+#: Double-precision word (Eqs. 8/9 count DP numbers).
+_DP = 8
+#: Double-complex value (Eqs. 11/12 count double-complex numbers).
+_DC = 16
+
+
+def naive_code_balance() -> float:
+    """Eq. 8: ``4 * (18 + 12 + 12) * 8 = 1344`` bytes/LUP.
+
+    The four outer-dimension-shifted kernels (Listing 1) move 18 DP
+    numbers each when no layer condition holds; the other eight kernels
+    (Listing 2) move 12 each.
+    """
+    return 4 * (18 + 12 + 12) * _DP
+
+
+def spatial_code_balance() -> float:
+    """Eq. 9: ``4 * ((18 - 4) + 12 + 12) * 8 = 1216`` bytes/LUP.
+
+    Spatial blocking establishes the layer condition for the four
+    z-shifted kernels, saving four DP numbers in each: the shifted reads
+    of the two field arrays hit cache.  The coefficient arrays have no
+    temporal locality, which is why the gain is a mere 10%.
+    """
+    return 4 * ((18 - 4) + 12 + 12) * _DP
+
+
+def arithmetic_intensity(code_balance: float) -> float:
+    """Flops per byte at a given code balance (0.18 naive, 0.20 spatial)."""
+    if code_balance <= 0:
+        raise ValueError("code balance must be positive")
+    return FLOPS_PER_LUP / code_balance
+
+
+def bandwidth_limited_mlups(bandwidth_gbs: float, code_balance: float) -> float:
+    """Eq. 10: ``P_mem = b_S / B_C`` in MLUP/s.
+
+    ``bandwidth_gbs`` is in GB/s (1e9 bytes/s), the result in 1e6 LUP/s;
+    the paper's example: 50 GB/s / 1216 B/LUP = 41 MLUP/s.
+    """
+    if bandwidth_gbs <= 0:
+        raise ValueError("bandwidth must be positive")
+    if code_balance <= 0:
+        raise ValueError("code balance must be positive")
+    return bandwidth_gbs * 1e9 / code_balance / 1e6
+
+
+def diamond_code_balance(dw: int) -> float:
+    """Eq. 12: memory traffic per LUP of a cache-resident diamond tile.
+
+    Per unit footprint the diamond writes ``6 * (2 Dw - 1)`` numbers (six
+    H components across Dw columns + six E components across Dw - 1),
+    reads ``40 Dw`` (12 fields + 28 coefficients per column) plus 12
+    neighbour accesses, and performs ``Dw^2 / 2`` LUPs::
+
+        B_C = 16 * [6 (2 Dw - 1) + 40 Dw + 12] / (Dw^2 / 2)
+    """
+    if dw < 2:
+        raise ValueError("diamond width must be >= 2")
+    writes = 6 * (2 * dw - 1)
+    reads = 40 * dw + 12
+    return _DC * (writes + reads) / (dw**2 / 2.0)
+
+
+def wavefront_tile_width(dw: int, bz: int) -> int:
+    """``W_w = D_w + B_z - 1`` (Section III-C)."""
+    if bz < 1:
+        raise ValueError("bz must be >= 1")
+    return dw + bz - 1
+
+
+def cache_block_size(dw: int, bz: int, nx: int) -> int:
+    """Eq. 11: bytes of cache one extruded wavefront-diamond tile needs.
+
+    ``C_s = 16 * N_x * [40 * (Dw^2/2 + Dw*(Bz - 1)) + 12 * (Dw + Ww)]``
+
+    The paper's example: ``D_w = 4, B_z = 4 -> C_s = 14912 * N_x``.
+    """
+    if dw < 2 or dw % 2:
+        raise ValueError("diamond width must be an even integer >= 2")
+    if bz < 1:
+        raise ValueError("bz must be >= 1")
+    if nx < 1:
+        raise ValueError("nx must be >= 1")
+    ww = wavefront_tile_width(dw, bz)
+    area = dw * dw // 2 + dw * (bz - 1)
+    return _DC * nx * (40 * area + 12 * (dw + ww))
+
+
+def usable_cache_bytes(l3_bytes: int, fraction: float = 0.5) -> float:
+    """The paper's rule of thumb: half the shared L3 is usable for tile
+    data (22.5 MiB of the Haswell's 45 MiB)."""
+    if not (0 < fraction <= 1):
+        raise ValueError("fraction must be in (0, 1]")
+    return l3_bytes * fraction
+
+
+def max_diamond_width(bz: int, nx: int, cache_budget: float, dw_cap: int = 64) -> int | None:
+    """Largest even ``D_w`` whose tile fits ``cache_budget`` bytes.
+
+    Returns ``None`` if even the minimum ``D_w = 2`` does not fit -- the
+    regime where 1WD collapses at high thread counts (each thread's
+    private tile must fit in its shard of the L3).
+    """
+    best = None
+    for dw in range(2, dw_cap + 1, 2):
+        if cache_block_size(dw, bz, nx) <= cache_budget:
+            best = dw
+        else:
+            break
+    return best
+
+
+def diamond_lups(dw: int) -> float:
+    """LUPs per unit footprint of one diamond: ``D_w^2 / 2``."""
+    if dw < 2:
+        raise ValueError("diamond width must be >= 2")
+    return dw**2 / 2.0

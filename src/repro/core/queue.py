@@ -1,0 +1,93 @@
+"""The FIFO dynamic tile scheduler of the paper (Section II-A).
+
+"Diamond tiles are dynamically scheduled to the available TGs.  A First In
+First Out (FIFO) queue keeps track of the available diamond tiles for
+updating.  TGs pop tiles from this queue to update them.  When a TG
+completes a tile update, it pushes to the queue its dependent diamond
+tile, if that has no other dependencies."
+
+:class:`TileQueue` is that protocol, decoupled from what "executing a
+tile" means: the correctness executor, the discrete-event machine
+simulator and the tests all drive it.  The paper implements the queue
+update in an OpenMP critical region; here the (simulated) critical-region
+cost is accounted by the machine simulator, not this class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Set
+
+from .plan import TileIndex, TilingPlan
+
+__all__ = ["TileQueue"]
+
+
+class TileQueue:
+    """Dependency-counting FIFO queue over a plan's tile DAG."""
+
+    def __init__(self, plan: TilingPlan):
+        self.plan = plan
+        self._remaining: Dict[TileIndex, int] = {
+            idx: len(plan.preds[idx]) for idx in plan.tiles
+        }
+        self._ready: Deque[TileIndex] = deque(
+            sorted(idx for idx, n in self._remaining.items() if n == 0)
+        )
+        self._in_flight: Set[TileIndex] = set()
+        self._done: Set[TileIndex] = set()
+
+    # -- protocol ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    @property
+    def ready_count(self) -> int:
+        return len(self._ready)
+
+    @property
+    def done_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every tile has completed."""
+        return len(self._done) == len(self.plan.tiles)
+
+    def pop(self) -> TileIndex | None:
+        """Take the next ready tile (None if the queue is momentarily
+        empty -- a TG would then spin-wait, which the machine simulator
+        models as idle time)."""
+        if not self._ready:
+            return None
+        idx = self._ready.popleft()
+        self._in_flight.add(idx)
+        return idx
+
+    def complete(self, idx: TileIndex) -> List[TileIndex]:
+        """Mark a tile finished; enqueue and return newly ready tiles."""
+        if idx not in self._in_flight:
+            raise ValueError(f"tile {idx} was not in flight")
+        self._in_flight.remove(idx)
+        self._done.add(idx)
+        newly: List[TileIndex] = []
+        for s in self.plan.succs[idx]:
+            self._remaining[s] -= 1
+            if self._remaining[s] == 0:
+                self._ready.append(s)
+                newly.append(s)
+            elif self._remaining[s] < 0:
+                raise RuntimeError(f"tile {s} completed more predecessors than it has")
+        return newly
+
+    def drain_serial(self) -> List[TileIndex]:
+        """Run the protocol with a single worker; returns the pop order."""
+        order: List[TileIndex] = []
+        while not self.exhausted:
+            idx = self.pop()
+            if idx is None:
+                raise RuntimeError("queue empty before all tiles completed (deadlock)")
+            order.append(idx)
+            self.complete(idx)
+        return order

@@ -1,0 +1,192 @@
+"""Thread groups and multi-dimensional intra-tile parallelization.
+
+The paper's key optimization beyond plain wavefront-diamond blocking: the
+threads of a *thread group* (TG) cooperate on one cache block instead of
+each owning a private one, and they are spread over **three** intra-tile
+dimensions (Section II-B):
+
+* the **wavefront** (z) dimension -- up to ``B_z`` threads, each advancing
+  part of the moving window; more wavefront threads need a wider window
+  and therefore a bigger cache block (Eq. 11);
+* the **inner** (x) dimension -- splitting the contiguous rows costs no
+  extra cache but hurts once per-thread chunks drop below ~50 cells
+  (hardware-prefetch/pipeline argument of Section VI);
+* the **component** dimension -- 1/2/3/6-way parallelism over the six
+  independent component updates of a half step (Fig. 3 shows 3-way).
+
+The diamond (y) dimension is deliberately *not* parallelized: the odd row
+widths at every other sub-step make it impossible to balance (Section
+II-B).
+
+This module enumerates and validates the configurations; their
+performance consequences (fill/drain, imbalance, cache footprint) are
+evaluated by :mod:`repro.machine.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..fdfd.specs import component_groups
+
+__all__ = [
+    "ThreadGroupConfig",
+    "WorkItem",
+    "enumerate_tg_configs",
+    "divisors",
+    "work_assignment",
+]
+
+#: Legal component-parallelism fan-outs (divisors of the 6 updates).
+COMPONENT_WAYS = (1, 2, 3, 6)
+
+#: Below roughly this many contiguous cells per thread the paper expects
+#: pipeline/SIMD efficiency to collapse (Section VI: "thin domains with
+#: less than about 50 cells are inefficient").
+MIN_X_CHUNK = 16
+
+
+def divisors(n: int) -> List[int]:
+    """Positive divisors of ``n`` in ascending order."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    out = [d for d in range(1, n + 1) if n % d == 0]
+    return out
+
+
+@dataclass(frozen=True)
+class ThreadGroupConfig:
+    """One intra-tile parallelization: ``(wavefront, x, component)`` ways.
+
+    ``size = wavefront_threads * x_threads * component_threads`` is the
+    thread-group size; ``threads // size`` groups run concurrently on
+    different diamond tiles.
+    """
+
+    wavefront_threads: int = 1
+    x_threads: int = 1
+    component_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.wavefront_threads < 1 or self.x_threads < 1:
+            raise ValueError("thread counts must be >= 1")
+        if self.component_threads not in COMPONENT_WAYS:
+            raise ValueError(
+                f"component parallelism must be one of {COMPONENT_WAYS}, "
+                f"got {self.component_threads}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.wavefront_threads * self.x_threads * self.component_threads
+
+    def is_feasible(self, bz: int, nx: int, min_x_chunk: int = MIN_X_CHUNK) -> bool:
+        """Whether this split fits a tile with wavefront width ``bz`` on a
+        grid with ``nx`` inner cells.
+
+        Wavefront threads cannot exceed the window width (each must own at
+        least one plane of the moving block), and x-chunks should not drop
+        below the efficiency threshold.
+        """
+        if self.wavefront_threads > bz:
+            return False
+        if nx // self.x_threads < min_x_chunk:
+            return False
+        return True
+
+    def x_chunk(self, nx: int) -> int:
+        """Per-thread inner-dimension chunk (ceiling division)."""
+        return -(-nx // self.x_threads)
+
+    def imbalance(self, nx: int) -> float:
+        """Load-imbalance factor >= 1 of the x split.
+
+        The slowest thread does ``ceil(nx / x_threads)`` cells while the
+        average is ``nx / x_threads``; component and wavefront splits are
+        balanced by construction.
+        """
+        ideal = nx / self.x_threads
+        return self.x_chunk(nx) / ideal
+
+    def label(self) -> str:
+        return f"wf{self.wavefront_threads}.x{self.x_threads}.c{self.component_threads}"
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """The static share of one thread of a thread group.
+
+    The paper's Fixed-Execution-to-Data (FED) strategy: each thread is
+    permanently bound to the same x-chunk, the same component subset and
+    the same slot of the moving wavefront window, so only tile-boundary
+    data ever migrates between private caches as the wavefront sweeps.
+    """
+
+    thread: int
+    wavefront_slot: int
+    x_lo: int
+    x_hi: int
+    components: Tuple[int, ...]
+
+    @property
+    def x_cells(self) -> int:
+        return self.x_hi - self.x_lo
+
+
+def work_assignment(cfg: ThreadGroupConfig, nx: int) -> List[WorkItem]:
+    """The FED work map of a thread-group configuration.
+
+    Enumerates the ``wavefront x x x component`` lattice; every grid cell
+    of every half-step level is covered exactly once per wavefront slot
+    (the slots partition the z window, the x chunks partition the row,
+    the component groups partition the six updates).
+    """
+    if nx < cfg.x_threads:
+        raise ValueError(f"nx={nx} cannot feed {cfg.x_threads} x-threads")
+    groups = component_groups(cfg.component_threads)
+    chunk = -(-nx // cfg.x_threads)
+    items: List[WorkItem] = []
+    tid = 0
+    for slot in range(cfg.wavefront_threads):
+        for xi in range(cfg.x_threads):
+            x_lo = xi * chunk
+            x_hi = min(x_lo + chunk, nx)
+            for group in groups:
+                items.append(
+                    WorkItem(
+                        thread=tid,
+                        wavefront_slot=slot,
+                        x_lo=x_lo,
+                        x_hi=x_hi,
+                        components=tuple(group),
+                    )
+                )
+                tid += 1
+    return items
+
+
+def enumerate_tg_configs(
+    tg_size: int,
+    bz: int,
+    nx: int,
+    min_x_chunk: int = MIN_X_CHUNK,
+) -> Iterator[ThreadGroupConfig]:
+    """All feasible intra-tile splits of ``tg_size`` threads.
+
+    The auto-tuner iterates these per (D_w, B_z) candidate; for TG size 1
+    the only config is the 1WD-style serial tile update.
+    """
+    if tg_size < 1:
+        raise ValueError("tg_size must be >= 1")
+    for nc in COMPONENT_WAYS:
+        if tg_size % nc:
+            continue
+        rest = tg_size // nc
+        for nwf in divisors(rest):
+            nx_threads = rest // nwf
+            cfg = ThreadGroupConfig(
+                wavefront_threads=nwf, x_threads=nx_threads, component_threads=nc
+            )
+            if cfg.is_feasible(bz, nx, min_x_chunk):
+                yield cfg

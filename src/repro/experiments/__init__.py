@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .figures import (
+    GRIDS,
+    ablation_intra_tile,
+    ablation_machine_balance,
+    ablation_thin_domain,
+    fig5_cache_model,
+    fig6_thread_scaling,
+    fig7_grid_scaling,
+    fig8_tg_size,
+    section3_table,
+)
+from .report import format_series, format_table, print_report, save_json
+
+__all__ = [
+    "GRIDS",
+    "ablation_intra_tile",
+    "ablation_machine_balance",
+    "ablation_thin_domain",
+    "fig5_cache_model",
+    "fig6_thread_scaling",
+    "fig7_grid_scaling",
+    "fig8_tg_size",
+    "format_series",
+    "format_table",
+    "print_report",
+    "save_json",
+    "section3_table",
+]

@@ -1,0 +1,74 @@
+"""Rendering and persistence of experiment results.
+
+The figure generators return plain data (lists of dict rows); this module
+prints them as aligned ASCII tables / series and writes JSON next to the
+benchmark outputs so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "save_json", "print_report"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.rjust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[tuple]], x_label: str,
+                  y_label: str, title: str | None = None) -> str:
+    """Render {series name: [(x, y), ...]} as a compact comparison table."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    rows = []
+    for x in xs:
+        row: dict[str, Any] = {x_label: x}
+        for name, pts in series.items():
+            val = dict(pts).get(x)
+            row[name] = val if val is not None else ""
+        rows.append(row)
+    head = f"{title}  [{y_label}]" if title else f"[{y_label}]"
+    return format_table(rows, title=head)
+
+
+def save_json(data: Any, path: str) -> str:
+    """Persist a result object as JSON (creating parent directories)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def print_report(*blocks: str) -> None:
+    for b in blocks:
+        print()
+        print(b)

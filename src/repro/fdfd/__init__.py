@@ -1,0 +1,108 @@
+"""THIIM / FDFD electromagnetics substrate.
+
+The production workload of the paper: a Maxwell solver using the Time
+Harmonic Inverse Iteration Method with split-field PML on a staggered Yee
+grid -- twelve field components and twenty-eight coefficient arrays per
+cell.  See DESIGN.md section 3.1 for the module inventory.
+"""
+
+from .coefficients import CoefficientSet, build_coefficients, random_coefficients
+from .fields import FieldState
+from .geometry import Layer, Scene, Sphere, rough_texture, sinusoidal_texture
+from .grid import Grid
+from .kernels import (
+    clip_region,
+    naive_sweep,
+    spatial_blocked_sweep,
+    step,
+    update_component,
+    update_e,
+    update_h,
+)
+from .materials import (
+    A_SI_H,
+    AIR,
+    GLASS,
+    MATERIAL_LIBRARY,
+    SILVER,
+    SIO2,
+    TCO_ZNO,
+    UC_SI_H,
+    VACUUM,
+    Material,
+)
+from .observables import (
+    absorbed_power,
+    absorption_density,
+    field_energy,
+    poynting_flux_z,
+    poynting_z,
+    relative_change,
+)
+from .pml import PMLSpec, pml_profile
+from .sources import PlaneWaveSource, gaussian_beam_profile
+from .specs import (
+    ALL_COMPONENTS,
+    BYTES_PER_CELL,
+    E_COMPONENTS,
+    FLOPS_PER_LUP,
+    H_COMPONENTS,
+    SOURCE_COMPONENTS,
+    SPECS,
+    ComponentSpec,
+    component_groups,
+    flops_for_component,
+)
+from .thiim import SolveResult, THIIMSolver
+
+__all__ = [
+    "ALL_COMPONENTS",
+    "A_SI_H",
+    "AIR",
+    "BYTES_PER_CELL",
+    "CoefficientSet",
+    "ComponentSpec",
+    "E_COMPONENTS",
+    "FLOPS_PER_LUP",
+    "FieldState",
+    "GLASS",
+    "Grid",
+    "H_COMPONENTS",
+    "Layer",
+    "MATERIAL_LIBRARY",
+    "Material",
+    "PMLSpec",
+    "PlaneWaveSource",
+    "SILVER",
+    "SIO2",
+    "SOURCE_COMPONENTS",
+    "SPECS",
+    "Scene",
+    "SolveResult",
+    "Sphere",
+    "THIIMSolver",
+    "TCO_ZNO",
+    "UC_SI_H",
+    "VACUUM",
+    "absorbed_power",
+    "absorption_density",
+    "build_coefficients",
+    "clip_region",
+    "component_groups",
+    "field_energy",
+    "flops_for_component",
+    "gaussian_beam_profile",
+    "naive_sweep",
+    "pml_profile",
+    "poynting_flux_z",
+    "poynting_z",
+    "random_coefficients",
+    "relative_change",
+    "rough_texture",
+    "sinusoidal_texture",
+    "spatial_blocked_sweep",
+    "step",
+    "update_component",
+    "update_e",
+    "update_h",
+]

@@ -1,0 +1,144 @@
+"""Field state container for the twelve split-field components.
+
+The THIIM kernel evolves twelve domain-sized double-complex arrays (the
+split parts of the six E and six H vector components).  ``FieldState``
+bundles them with convenience accessors for the recombined physical fields
+(``Ex = Exy + Exz`` etc.) used by the observables module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from .grid import Grid
+from .specs import ALL_COMPONENTS, E_COMPONENTS, H_COMPONENTS, SPECS
+
+__all__ = ["FieldState"]
+
+
+class FieldState:
+    """Twelve split-field component arrays on a :class:`Grid`.
+
+    The arrays are exposed through item access (``state["Exy"]``) so the
+    kernels can be written generically over the component specs.  All
+    arrays are C-contiguous complex128 of shape ``grid.shape``.
+    """
+
+    __slots__ = ("grid", "_arrays")
+
+    def __init__(self, grid: Grid, arrays: Dict[str, np.ndarray] | None = None):
+        self.grid = grid
+        if arrays is None:
+            arrays = {name: grid.zeros() for name in ALL_COMPONENTS}
+        else:
+            for name in ALL_COMPONENTS:
+                if name not in arrays:
+                    raise KeyError(f"missing component {name}")
+                a = arrays[name]
+                if a.shape != grid.shape:
+                    raise ValueError(
+                        f"component {name} has shape {a.shape}, expected {grid.shape}"
+                    )
+                if a.dtype != np.complex128:
+                    raise TypeError(f"component {name} must be complex128, got {a.dtype}")
+        self._arrays = arrays
+
+    # -- mapping-style access -------------------------------------------------
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        if name not in self._arrays:
+            raise KeyError(name)
+        self._arrays[name][...] = value
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(ALL_COMPONENTS)
+
+    def components(self) -> Dict[str, np.ndarray]:
+        """The underlying component dict (live references, not copies)."""
+        return self._arrays
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def copy(self) -> "FieldState":
+        return FieldState(self.grid, {k: v.copy() for k, v in self._arrays.items()})
+
+    def fill_random(self, rng: np.random.Generator, scale: float = 1.0) -> "FieldState":
+        """Fill every component with random complex data (testing aid)."""
+        for name in ALL_COMPONENTS:
+            shape = self.grid.shape
+            self._arrays[name][...] = scale * (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            )
+        return self
+
+    def zero_boundary(self) -> "FieldState":
+        """Impose homogeneous Dirichlet values on the outermost cell layer
+        of every non-periodic axis (the paper's benchmark boundary
+        condition)."""
+        per = self.grid.periodic
+        for a in self._arrays.values():
+            if not per[0]:
+                a[0, :, :] = 0
+                a[-1, :, :] = 0
+            if not per[1]:
+                a[:, 0, :] = 0
+                a[:, -1, :] = 0
+            if not per[2]:
+                a[:, :, 0] = 0
+                a[:, :, -1] = 0
+        return self
+
+    # -- recombined physical fields ---------------------------------------------
+
+    def combined(self, which: str) -> np.ndarray:
+        """Recombine split parts: ``combined("Ex") == Exy + Exz`` etc."""
+        parts = [n for n in ALL_COMPONENTS if n.startswith(which)]
+        if len(parts) != 2:
+            raise KeyError(f"unknown physical field {which!r}")
+        return self._arrays[parts[0]] + self._arrays[parts[1]]
+
+    def e_vector(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The physical (Ex, Ey, Ez)."""
+        return self.combined("Ex"), self.combined("Ey"), self.combined("Ez")
+
+    def h_vector(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The physical (Hx, Hy, Hz)."""
+        return self.combined("Hx"), self.combined("Hy"), self.combined("Hz")
+
+    # -- comparisons -------------------------------------------------------------
+
+    def allclose(self, other: "FieldState", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Component-wise closeness (the tiled-vs-naive correctness check)."""
+        return all(
+            np.allclose(self._arrays[n], other._arrays[n], rtol=rtol, atol=atol)
+            for n in ALL_COMPONENTS
+        )
+
+    def max_abs_difference(self, other: "FieldState") -> float:
+        return max(
+            float(np.max(np.abs(self._arrays[n] - other._arrays[n])))
+            for n in ALL_COMPONENTS
+        )
+
+    def norm(self) -> float:
+        """Root-sum-square magnitude over all components."""
+        return float(
+            np.sqrt(
+                sum(float(np.sum(np.abs(self._arrays[n]) ** 2)) for n in ALL_COMPONENTS)
+            )
+        )
+
+    def field_norm(self, field: str) -> float:
+        """Norm over the E ("E") or H ("H") components only."""
+        comps = E_COMPONENTS if field == "E" else H_COMPONENTS
+        return float(
+            np.sqrt(sum(float(np.sum(np.abs(self._arrays[n]) ** 2)) for n in comps))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FieldState(grid={self.grid.shape}, |E|={self.field_norm('E'):.3e}, |H|={self.field_norm('H'):.3e})"

@@ -1,0 +1,235 @@
+"""Scene construction: layer stacks, textured interfaces, nano-particles.
+
+The paper's Fig. 1 shows the motivating workload: a tandem thin-film solar
+cell -- a stack of layers along the vertical (z) axis with *textured*
+(rough) interfaces for light trapping and SiO2 nano-particles embedded near
+the silver back contact for additional scattering.  The production code
+obtains rough interfaces from atomic-force-microscopy height maps and maps
+material data onto the structured grid with the Finite Integration
+Technique (FIT).
+
+We reproduce the same capability with synthetic height maps: a scene is a
+background material, an ordered list of layers (each claiming a z-range
+whose lower boundary may be displaced by a height map over (y, x)), and a
+list of spherical inclusions.  Rasterization onto the structured grid uses
+optional supersampling to approximate the FIT volume-fraction averaging of
+material data in boundary cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .grid import Grid
+from .materials import Material, VACUUM
+
+__all__ = ["Layer", "Sphere", "Scene", "sinusoidal_texture", "rough_texture"]
+
+#: A height map assigns a z-displacement (in cells) to every (y, x) column.
+HeightMap = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def sinusoidal_texture(amplitude: float, period_y: float, period_x: float, phase: float = 0.0) -> HeightMap:
+    """Deterministic etched-surface texture (crossed sinusoids).
+
+    A cheap stand-in for the etched light-trapping textures of Fig. 1:
+    smooth, periodic, controllable amplitude -- adequate to exercise the
+    curved-interface rasterization path.
+    """
+
+    def height(y: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return amplitude * (
+            np.sin(2 * np.pi * y / period_y + phase) * np.cos(2 * np.pi * x / period_x)
+        )
+
+    return height
+
+
+def rough_texture(amplitude: float, correlation: int, seed: int = 0) -> HeightMap:
+    """Random rough surface with a given lateral correlation length.
+
+    Generates band-limited Gaussian roughness, mimicking the statistics of
+    an AFM-measured etched surface.  Deterministic for a fixed seed.
+    """
+    if correlation < 1:
+        raise ValueError("correlation length must be >= 1 cell")
+
+    def height(y: np.ndarray, x: np.ndarray) -> np.ndarray:
+        ny = int(np.max(y)) + 1
+        nx = int(np.max(x)) + 1
+        rng = np.random.default_rng(seed)
+        noise = rng.standard_normal((ny, nx))
+        # Low-pass filter in Fourier space at the correlation wavelength.
+        fy = np.fft.fftfreq(ny)[:, None]
+        fx = np.fft.fftfreq(nx)[None, :]
+        keep = np.exp(-((fy**2 + fx**2) * (correlation**2) * (2 * np.pi**2)))
+        smooth = np.fft.ifft2(np.fft.fft2(noise) * keep).real
+        rms = np.sqrt(np.mean(smooth**2))
+        if rms > 0:
+            smooth *= amplitude / rms
+        return smooth[y.astype(int) % ny, x.astype(int) % nx]
+
+    return height
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A material slab ``z in [z_low, z_high)`` with an optional textured
+    lower interface.
+
+    The texture displaces the *lower* boundary of the layer cell-column by
+    cell-column, so stacking layers with textures produces the conformal
+    rough interfaces of the tandem-cell cross section.
+    """
+
+    material: Material
+    z_low: float
+    z_high: float
+    texture: HeightMap | None = None
+
+    def __post_init__(self) -> None:
+        if self.z_high <= self.z_low:
+            raise ValueError(f"layer {self.material.name}: empty z range")
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """A spherical inclusion (e.g. an SiO2 scattering nano-particle)."""
+
+    material: Material
+    center: tuple[float, float, float]  # (z, y, x) in cell units
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError("sphere radius must be positive")
+
+
+@dataclass
+class Scene:
+    """A simulation scene: background + layers + spherical inclusions.
+
+    Later entries win: layers are painted in list order, spheres afterwards.
+    """
+
+    background: Material = VACUUM
+    layers: list[Layer] = field(default_factory=list)
+    spheres: list[Sphere] = field(default_factory=list)
+
+    def add_layer(self, material: Material, z_low: float, z_high: float, texture: HeightMap | None = None) -> "Scene":
+        self.layers.append(Layer(material, z_low, z_high, texture))
+        return self
+
+    def add_sphere(self, material: Material, center: tuple[float, float, float], radius: float) -> "Scene":
+        self.spheres.append(Sphere(material, center, radius))
+        return self
+
+    # -- rasterization -----------------------------------------------------
+
+    def material_id_map(self, grid: Grid) -> tuple[np.ndarray, list[Material]]:
+        """Rasterize the scene to a per-cell material index.
+
+        Returns ``(ids, palette)`` where ``ids`` has shape ``grid.shape``
+        and ``palette[ids[c]]`` is the material of cell ``c``.  Cell
+        membership is evaluated at the cell center (supersampled averaging
+        happens later, on the permittivity itself).
+        """
+        palette: list[Material] = [self.background]
+        ids = np.zeros(grid.shape, dtype=np.int16)
+        iy, ix = np.meshgrid(np.arange(grid.ny), np.arange(grid.nx), indexing="ij")
+        zc = np.arange(grid.nz, dtype=np.float64) + 0.5
+        for layer in self.layers:
+            palette.append(layer.material)
+            mid = len(palette) - 1
+            low = np.full((grid.ny, grid.nx), layer.z_low, dtype=np.float64)
+            if layer.texture is not None:
+                low = low + layer.texture(iy.astype(np.float64), ix.astype(np.float64))
+            inside = (zc[:, None, None] >= low[None, :, :]) & (zc[:, None, None] < layer.z_high)
+            ids[inside] = mid
+        if self.spheres:
+            zz, yy, xx = np.meshgrid(
+                np.arange(grid.nz) + 0.5,
+                np.arange(grid.ny) + 0.5,
+                np.arange(grid.nx) + 0.5,
+                indexing="ij",
+            )
+            for sph in self.spheres:
+                palette.append(sph.material)
+                mid = len(palette) - 1
+                cz, cy, cx = sph.center
+                inside = (zz - cz) ** 2 + (yy - cy) ** 2 + (xx - cx) ** 2 <= sph.radius**2
+                ids[inside] = mid
+        return ids, palette
+
+    def rasterize(self, grid: Grid, omega: float, supersample: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Produce per-cell ``(eps, sigma)`` arrays.
+
+        Parameters
+        ----------
+        supersample:
+            Linear supersampling factor per axis; ``supersample > 1``
+            averages the complex permittivity over sub-cell samples, the
+            FIT-style treatment of curved interfaces (a cell straddling a
+            material boundary receives the volume-weighted permittivity).
+
+        Returns
+        -------
+        (eps, sigma):
+            Real permittivity (may be negative inside metals) and
+            conductivity arrays of shape ``grid.shape``.
+        """
+        if supersample < 1:
+            raise ValueError("supersample must be >= 1")
+        if supersample == 1:
+            ids, palette = self.material_id_map(grid)
+            eps_of = np.array([m.eps_real for m in palette])
+            sig_of = np.array([m.sigma(omega) for m in palette])
+            return eps_of[ids], sig_of[ids]
+
+        # Volume-fraction averaging: accumulate complex permittivity over
+        # shifted sub-grids, then split back into (eps, sigma).
+        acc = np.zeros(grid.shape, dtype=np.complex128)
+        n = supersample
+        # Evaluate on an n-times finer grid and box-average.
+        fine = Grid(grid.nz * n, grid.ny * n, grid.nx * n,
+                    grid.dz / n, grid.dy / n, grid.dx / n, grid.periodic)
+        scaled = self._scaled(n)
+        ids, palette = scaled.material_id_map(fine)
+        ceps_of = np.array([m.complex_eps(omega) for m in palette])
+        fine_eps = ceps_of[ids]
+        acc = fine_eps.reshape(grid.nz, n, grid.ny, n, grid.nx, n).mean(axis=(1, 3, 5))
+        eps = acc.real
+        sigma = -acc.imag * omega
+        return eps, sigma
+
+    def _scaled(self, n: int) -> "Scene":
+        """The same scene with all cell-unit geometry scaled by ``n``."""
+        out = Scene(background=self.background)
+        for layer in self.layers:
+            tex = layer.texture
+            if tex is not None:
+                orig = tex
+
+                def scaled_tex(y, x, _orig=orig, _n=n):
+                    return _n * _orig(y / _n, x / _n)
+
+                tex = scaled_tex
+            out.add_layer(layer.material, layer.z_low * n, layer.z_high * n, tex)
+        for sph in self.spheres:
+            cz, cy, cx = sph.center
+            out.add_sphere(sph.material, (cz * n, cy * n, cx * n), sph.radius * n)
+        return out
+
+    def material_volume_fractions(self, grid: Grid) -> dict[str, float]:
+        """Fraction of grid cells occupied by each material (diagnostics)."""
+        ids, palette = self.material_id_map(grid)
+        total = ids.size
+        fractions: dict[str, float] = {}
+        for mid, mat in enumerate(palette):
+            count = int(np.sum(ids == mid))
+            if count:
+                fractions[mat.name] = fractions.get(mat.name, 0.0) + count / total
+        return fractions

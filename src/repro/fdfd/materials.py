@@ -1,0 +1,136 @@
+"""Optical material models for the solar-cell simulation.
+
+THIIM was designed so that frequency-domain optical constants (complex
+refractive index ``n - i*kappa`` measured at the simulation wavelength) can
+be used *directly*, without auxiliary differential equations -- including
+metals with negative real permittivity such as the silver back contact
+(Section I and V of the paper).
+
+Conventions
+-----------
+We use the ``e^{+i w t}`` time convention, normalized units with vacuum
+permittivity, permeability and light speed equal to one, and express every
+material at a given angular frequency ``omega`` as
+
+* ``eps``   -- the real part of the relative permittivity, ``n^2 - kappa^2``
+  (negative for metals below the plasma frequency), and
+* ``sigma`` -- the equivalent electric conductivity ``2 n kappa * omega``
+  carrying the absorption.
+
+The complex permittivity is then ``eps - i sigma / omega`` and the
+frequency-domain Ampere law reads ``(i w eps + sigma) E = curl H``, which
+is exactly the left-hand side of the paper's Eqs. (6)-(7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Material",
+    "VACUUM",
+    "AIR",
+    "GLASS",
+    "TCO_ZNO",
+    "A_SI_H",
+    "UC_SI_H",
+    "SIO2",
+    "SILVER",
+    "MATERIAL_LIBRARY",
+]
+
+
+@dataclass(frozen=True)
+class Material:
+    """An isotropic, non-magnetic optical material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (also the key in :data:`MATERIAL_LIBRARY`).
+    n:
+        Real part of the refractive index at the design wavelength.
+    kappa:
+        Extinction coefficient (>= 0) at the design wavelength.
+    """
+
+    name: str
+    n: float
+    kappa: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kappa < 0:
+            raise ValueError(f"extinction coefficient must be >= 0, got {self.kappa}")
+
+    @property
+    def complex_index(self) -> complex:
+        """``n - i kappa`` (lossy materials have negative imaginary part
+        under the ``e^{+i w t}`` convention)."""
+        return complex(self.n, -self.kappa)
+
+    @property
+    def eps_real(self) -> float:
+        """Real relative permittivity ``n^2 - kappa^2``."""
+        return self.n**2 - self.kappa**2
+
+    def sigma(self, omega: float) -> float:
+        """Equivalent conductivity ``2 n kappa w`` carrying the absorption."""
+        if omega <= 0:
+            raise ValueError(f"omega must be positive, got {omega}")
+        return 2.0 * self.n * self.kappa * omega
+
+    def complex_eps(self, omega: float) -> complex:
+        """Full complex relative permittivity ``eps - i sigma/omega``."""
+        return complex(self.eps_real, -self.sigma(omega) / omega)
+
+    @property
+    def is_negative_eps(self) -> bool:
+        """True for metals with Re(eps) < 0; these grid cells take the
+        THIIM *back iteration* (Eq. 5 of the paper)."""
+        return self.eps_real < 0
+
+    @property
+    def is_lossless(self) -> bool:
+        return self.kappa == 0.0
+
+    @classmethod
+    def from_permittivity(cls, name: str, eps: complex) -> "Material":
+        """Construct from a complex relative permittivity ``eps' - i eps''``.
+
+        Inverts ``(n - i kappa)^2 = eps``.
+        """
+        root = np.sqrt(complex(eps))
+        n, kappa = float(root.real), float(-root.imag)
+        if n < 0:  # choose the root with non-negative n
+            n, kappa = -n, -kappa
+        return cls(name, n=n, kappa=kappa)
+
+
+# ---------------------------------------------------------------------------
+# Library of materials appearing in the paper's Fig. 1 tandem cell, with
+# optical constants representative of ~500-600 nm (visible) illumination.
+# Values are typical literature numbers; the *structure* (which materials
+# are lossy, which have negative permittivity) is what matters for
+# exercising the solver paths.
+# ---------------------------------------------------------------------------
+
+VACUUM = Material("vacuum", n=1.0)
+AIR = Material("air", n=1.0)
+GLASS = Material("glass", n=1.5)
+#: Transparent conductive oxide front electrode (ZnO:Al).
+TCO_ZNO = Material("ZnO", n=1.9, kappa=0.01)
+#: Hydrogenated amorphous silicon absorber (top cell of the tandem).
+A_SI_H = Material("a-Si:H", n=4.3, kappa=0.6)
+#: Hydrogenated microcrystalline silicon absorber (bottom cell).
+UC_SI_H = Material("uc-Si:H", n=3.9, kappa=0.25)
+#: Silica nano-particle scatterers at the back reflector.
+SIO2 = Material("SiO2", n=1.45)
+#: Silver back contact: Re(eps) = 0.05^2 - 3.1^2 < 0 -> back iteration.
+SILVER = Material("Ag", n=0.05, kappa=3.1)
+
+MATERIAL_LIBRARY = {
+    m.name: m
+    for m in (VACUUM, AIR, GLASS, TCO_ZNO, A_SI_H, UC_SI_H, SIO2, SILVER)
+}

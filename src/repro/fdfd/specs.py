@@ -1,0 +1,262 @@
+"""Component specifications for the THIIM split-field stencil.
+
+This module is the single source of truth describing the twelve split-field
+components of the THIIM (Time Harmonic Inverse Iteration Method) kernel and
+the memory-access signature of each component update.  It is consumed by
+
+* :mod:`repro.fdfd.kernels` -- to perform the actual numerical updates,
+* :mod:`repro.machine.streams` -- to generate the memory-access streams fed
+  to the cache simulator,
+* :mod:`repro.core.models` -- to derive the analytic code-balance numbers
+  of Section III of the paper (flop counts, bytes per lattice-site update).
+
+Background
+----------
+The split-field (Berenger) formulation splits each of the six field
+components into two parts according to which transverse derivative feeds
+it, e.g. ``Ex = Exy + Exz`` where ``Exy`` is driven by ``dHz/dy`` and
+``Exz`` by ``-dHy/dz``.  This yields 12 coupled update equations (Section I
+of the paper).  Each update has the algebraic form::
+
+    F_new = t * (A[shifted] + B[shifted] - A - B) + c * F_old  (+ src)
+
+with per-cell complex coefficients ``t`` and ``c`` and, for the four
+components with a derivative along the outer (z) dimension, a per-cell
+source array.  This gives 4*3 + 8*2 = 28 domain-sized coefficient arrays,
+which together with the 12 field arrays makes the famous 40 double-complex
+arrays = 640 bytes per grid cell of the paper.
+
+Axis convention
+---------------
+Arrays are laid out ``(z, y, x)``:
+
+* ``z`` (axis 0) is the *outer* dimension -- wavefront traversal;
+* ``y`` (axis 1) is the *middle* dimension -- diamond tiling;
+* ``x`` (axis 2) is the *inner*, contiguous dimension -- never tiled,
+  split among threads of a thread group.
+
+Stagger convention (Yee cell):  E components sit at half-integer positions
+along their own axis; H components at half-integer positions along the two
+transverse axes.  Consequently every H update reads the driving E pair with
+a ``+1`` index shift along the derivative axis and every E update reads the
+driving H pair with a ``-1`` shift (Fig. 3 of the paper: H depends in the
+positive direction, E in the negative direction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+__all__ = [
+    "AXIS_Z",
+    "AXIS_Y",
+    "AXIS_X",
+    "AXIS_NAMES",
+    "ComponentSpec",
+    "SPECS",
+    "E_COMPONENTS",
+    "H_COMPONENTS",
+    "ALL_COMPONENTS",
+    "SOURCE_COMPONENTS",
+    "COMPONENT_INDEX",
+    "FIELD_ARRAY_COUNT",
+    "COEFF_ARRAY_COUNT",
+    "TOTAL_ARRAY_COUNT",
+    "BYTES_PER_NUMBER",
+    "BYTES_PER_CELL",
+    "FLOPS_PER_LUP",
+    "flops_for_component",
+    "component_groups",
+]
+
+#: Axis indices for the ``(z, y, x)`` array layout.
+AXIS_Z, AXIS_Y, AXIS_X = 0, 1, 2
+AXIS_NAMES = ("z", "y", "x")
+
+#: All field quantities are double-complex (two IEEE doubles).
+BYTES_PER_NUMBER = 16
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Description of a single split-field component update.
+
+    Attributes
+    ----------
+    name:
+        Canonical component name, e.g. ``"Exy"``: the x-component of E,
+        split part driven by the y-derivative.
+    field:
+        ``"E"`` or ``"H"``.
+    comp_axis:
+        Axis (0/1/2 = z/y/x) of the *vector component* (``Exy`` -> x).
+    deriv_axis:
+        Axis along which the finite-difference derivative is taken
+        (``Exy`` -> y).
+    sign:
+        Sign of the curl contribution (+1 or -1).
+    reads:
+        The two split parts of the driving field that are summed before
+        differencing, e.g. ``("Hzx", "Hzy")`` for ``Exy``.
+    shift:
+        Index shift of the *far* read along ``deriv_axis``: ``+1`` for all
+        H updates, ``-1`` for all E updates.
+    source:
+        Name of the per-cell source coefficient array, or ``None``.  Only
+        the four components with ``deriv_axis == AXIS_Z`` carry sources
+        (plane-wave injection happens on a z-plane).
+    """
+
+    name: str
+    field: str
+    comp_axis: int
+    deriv_axis: int
+    sign: int
+    reads: Tuple[str, str]
+    shift: int
+    source: str | None = None
+
+    @property
+    def coeff_t(self) -> str:
+        """Name of the curl-term coefficient array (``t`` in Listing 1/2)."""
+        return "t" + self.name
+
+    @property
+    def coeff_c(self) -> str:
+        """Name of the self-term coefficient array (``c`` in Listing 1/2)."""
+        return "c" + self.name
+
+    @property
+    def coeff_names(self) -> Tuple[str, ...]:
+        """All coefficient arrays used by this component's update."""
+        if self.source is not None:
+            return (self.coeff_t, self.coeff_c, self.source)
+        return (self.coeff_t, self.coeff_c)
+
+    @property
+    def loss_axis(self) -> int:
+        """Axis whose (PML) conductivity damps this split component.
+
+        In the split-field PML the component ``Exy`` is damped by
+        ``sigma_y``, ``Exz`` by ``sigma_z`` and so on: the loss axis is the
+        derivative axis.
+        """
+        return self.deriv_axis
+
+
+def _spec(name: str, sign: int, reads: Tuple[str, str], source: str | None = None) -> ComponentSpec:
+    """Build a :class:`ComponentSpec` from its canonical name.
+
+    The name encodes everything else: ``Fab`` is field ``F``, vector
+    component ``a``, derivative along ``b``; H updates shift ``+1``, E
+    updates ``-1``.
+    """
+    field = name[0]
+    axis_of = {"x": AXIS_X, "y": AXIS_Y, "z": AXIS_Z}
+    return ComponentSpec(
+        name=name,
+        field=field,
+        comp_axis=axis_of[name[1]],
+        deriv_axis=axis_of[name[2]],
+        sign=sign,
+        reads=reads,
+        shift=+1 if field == "H" else -1,
+        source=source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The twelve split-field component updates.
+#
+# Curl components (e^{i w t} convention):
+#   (curl H)_x = dHz/dy - dHy/dz      -> Exy: +dy(Hz),  Exz: -dz(Hy)
+#   (curl H)_y = dHx/dz - dHz/dx      -> Eyz: +dz(Hx),  Eyx: -dx(Hz)
+#   (curl H)_z = dHy/dx - dHx/dy      -> Ezx: +dx(Hy),  Ezy: -dy(Hx)
+#   H updates carry the opposite overall sign: dH/dt = -(1/mu) curl E.
+#   (curl E)_x = dEz/dy - dEy/dz      -> Hxy: -dy(Ez),  Hxz: +dz(Ey)
+#   (curl E)_y = dEx/dz - dEz/dx      -> Hyz: -dz(Ex),  Hyx: +dx(Ez)
+#   (curl E)_z = dEy/dx - dEx/dy      -> Hzx: -dx(Ey),  Hzy: +dy(Ex)
+#
+# Each driving field is the sum of its two split parts.
+# The four components that difference along z carry the plane-wave source
+# arrays (the paper's SrcHy / SrcEx style arrays; 4*3 + 8*2 = 28 coefficient
+# arrays in total).
+# ---------------------------------------------------------------------------
+
+SPECS: Dict[str, ComponentSpec] = {
+    s.name: s
+    for s in (
+        _spec("Exy", +1, ("Hzx", "Hzy")),
+        _spec("Exz", -1, ("Hyx", "Hyz"), source="SrcEx"),
+        _spec("Eyz", +1, ("Hxy", "Hxz"), source="SrcEy"),
+        _spec("Eyx", -1, ("Hzx", "Hzy")),
+        _spec("Ezx", +1, ("Hyx", "Hyz")),
+        _spec("Ezy", -1, ("Hxy", "Hxz")),
+        _spec("Hxy", -1, ("Ezx", "Ezy")),
+        _spec("Hxz", +1, ("Eyx", "Eyz"), source="SrcHx"),
+        _spec("Hyz", -1, ("Exy", "Exz"), source="SrcHy"),
+        _spec("Hyx", +1, ("Ezx", "Ezy")),
+        _spec("Hzx", -1, ("Eyx", "Eyz")),
+        _spec("Hzy", +1, ("Exy", "Exz")),
+    )
+}
+
+#: Update order within a half step follows the paper's listing layout:
+#: components are independent within a half step (E components only read H
+#: arrays and vice versa), so any order is valid; we fix one for
+#: reproducibility.
+E_COMPONENTS: Tuple[str, ...] = ("Exy", "Exz", "Eyz", "Eyx", "Ezx", "Ezy")
+H_COMPONENTS: Tuple[str, ...] = ("Hxy", "Hxz", "Hyz", "Hyx", "Hzx", "Hzy")
+ALL_COMPONENTS: Tuple[str, ...] = H_COMPONENTS + E_COMPONENTS
+
+#: The four components carrying source arrays.
+SOURCE_COMPONENTS: Tuple[str, ...] = tuple(
+    s.name for s in SPECS.values() if s.source is not None
+)
+
+#: Stable integer ids (used by the access-stream generator).
+COMPONENT_INDEX: Mapping[str, int] = {
+    name: i for i, name in enumerate(ALL_COMPONENTS)
+}
+
+#: 12 field arrays + 28 coefficient arrays = 40 double-complex arrays,
+#: i.e. 640 bytes of state per grid cell (Section III of the paper).
+FIELD_ARRAY_COUNT = len(SPECS)
+COEFF_ARRAY_COUNT = sum(len(s.coeff_names) for s in SPECS.values())
+TOTAL_ARRAY_COUNT = FIELD_ARRAY_COUNT + COEFF_ARRAY_COUNT
+BYTES_PER_CELL = TOTAL_ARRAY_COUNT * BYTES_PER_NUMBER
+
+
+def flops_for_component(name: str) -> int:
+    """Double-precision flops of one component update at one grid cell.
+
+    Complex multiply = 6 flops, complex add = 2 flops.  The update
+    ``t*(a' + b' - a - b) + c*f (+ src)`` costs 3 complex adds (curl), two
+    complex multiplies and one final add, i.e. 20 flops; a source term adds
+    one more complex add (22 flops).  These match Listings 1 and 2 of the
+    paper exactly.
+    """
+    return 22 if SPECS[name].source is not None else 20
+
+
+#: 4 * 22 + 8 * 20 = 248 flops per full lattice-site update (Section III-A).
+FLOPS_PER_LUP = sum(flops_for_component(n) for n in ALL_COMPONENTS)
+
+
+def component_groups(n_groups: int) -> Tuple[Tuple[str, ...], ...]:
+    """Partition the six components of a half step for n-way parallelism.
+
+    The paper parameterizes the intra-tile component parallelism as 1, 2,
+    3 or 6 threads per field update (Fig. 3 shows the 3-way split).  The
+    six component updates of a half step are mutually independent, so any
+    balanced partition is valid; we split the canonical order contiguously.
+
+    Returns the partition of ``range(6)`` as index groups (the same
+    partition applies to the E and the H half step).
+    """
+    if n_groups not in (1, 2, 3, 6):
+        raise ValueError(f"component parallelism must be 1, 2, 3 or 6, got {n_groups}")
+    per = 6 // n_groups
+    idx = tuple(range(6))
+    return tuple(idx[i * per : (i + 1) * per] for i in range(n_groups))

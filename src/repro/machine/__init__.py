@@ -1,0 +1,52 @@
+"""Simulated multicore machine substrate.
+
+The hardware substitution documented in DESIGN.md: a parametric machine
+model (:mod:`spec`), an LRU model of the shared L3 driven by the real
+schedules' access streams (:mod:`cache`, :mod:`streams`, :mod:`measure`
+-- the LIKWID counter substitute), a discrete-event execution simulator
+(:mod:`simulator`) and the calibration provenance (:mod:`calibration`).
+"""
+
+from .cache import CacheStats, LRUCache
+from .calibration import CalibrationReport, validate_calibration
+from .measure import (
+    TrafficResult,
+    measure_sweep_code_balance,
+    measure_tiled_code_balance,
+)
+from .simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
+from .spec import HASWELL_EP, MachineSpec
+from .streams import (
+    ALL_ARRAYS,
+    ARRAY_GROUPS,
+    CLASS_RECIPES,
+    COMPONENT_RECIPES,
+    AccessOp,
+    ArrayGroup,
+    ComponentStreamEmitter,
+    StreamEmitter,
+)
+
+__all__ = [
+    "ALL_ARRAYS",
+    "ARRAY_GROUPS",
+    "AccessOp",
+    "ArrayGroup",
+    "CLASS_RECIPES",
+    "COMPONENT_RECIPES",
+    "CacheStats",
+    "CalibrationReport",
+    "ComponentStreamEmitter",
+    "HASWELL_EP",
+    "LRUCache",
+    "MachineSpec",
+    "SimResult",
+    "StreamEmitter",
+    "TrafficResult",
+    "measure_sweep_code_balance",
+    "measure_tiled_code_balance",
+    "simulate_sweep",
+    "simulate_tiled",
+    "tg_efficiency",
+    "validate_calibration",
+]

@@ -1,0 +1,143 @@
+"""LRU cache simulator (the stand-in for LIKWID's memory counters).
+
+The paper *measures* its code balance via hardware performance counters:
+bytes moved between the L3 and main memory, divided by lattice-site
+updates.  Our substitute replays the memory-access stream of the actual
+schedule through an LRU model of the shared L3 and counts the same two
+quantities.
+
+Granularity
+-----------
+The unit of caching is one x-row of one *array group* at a given (y, z) --
+see :mod:`repro.machine.streams` for the exact grouping.  The x dimension
+is never tiled (its rows stream contiguously through the cache), so row
+granularity captures precisely the reuse structure that the blocking
+parameters control; this is the same abstraction level as the paper's
+Eqs. 8-12.
+
+Write counting follows the paper's convention (Section III-A): a store
+costs one memory transfer (the eventual write-back); write misses do not
+charge a read (no RFO / streaming-store assumption, matching Eq. 8's "18
+numbers = 2 written + 16 read").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Byte and event counters accumulated by the cache simulator."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+    mem_read_bytes: int = 0
+    mem_write_bytes: int = 0
+
+    @property
+    def mem_bytes(self) -> int:
+        """Total main-memory traffic (the LIKWID "data volume")."""
+        return self.mem_read_bytes + self.mem_write_bytes
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        n = self.accesses
+        return 1.0 if n == 0 else (self.read_hits + self.write_hits) / n
+
+
+class LRUCache:
+    """A capacity-managed LRU cache over variable-size chunks.
+
+    Keys are opaque integers; each access carries the chunk's byte size
+    (constant per chunk kind).  Dirty chunks charge a write-back when
+    evicted or flushed.
+    """
+
+    __slots__ = ("capacity_bytes", "stats", "_entries", "_used_bytes")
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = float(capacity_bytes)
+        self.stats = CacheStats()
+        # key -> [size, dirty]
+        self._entries: OrderedDict[int, list] = OrderedDict()
+        self._used_bytes = 0
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    # -- the hot path ---------------------------------------------------------
+
+    def access(self, key: int, size: int, write: bool) -> bool:
+        """Touch a chunk; returns True on hit."""
+        entries = self._entries
+        entry = entries.get(key)
+        stats = self.stats
+        if entry is not None:
+            entries.move_to_end(key)
+            if write:
+                entry[1] = True
+                stats.write_hits += 1
+            else:
+                stats.read_hits += 1
+            return True
+        # Miss: install (write misses charge only the eventual write-back,
+        # read misses charge the memory read now).
+        if write:
+            stats.write_misses += 1
+        else:
+            stats.read_misses += 1
+            stats.mem_read_bytes += size
+        entries[key] = [size, write]
+        self._used_bytes += size
+        while self._used_bytes > self.capacity_bytes:
+            _, (esize, dirty) = entries.popitem(last=False)
+            self._used_bytes -= esize
+            if dirty:
+                stats.writebacks += 1
+                stats.mem_write_bytes += esize
+        return False
+
+    def access_many(self, keys, size: int, write: bool) -> None:
+        """Touch a sequence of chunks of uniform size."""
+        for key in keys:
+            self.access(key, size, write)
+
+    # -- management ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back all dirty chunks and empty the cache."""
+        for _, (size, dirty) in self._entries.items():
+            if dirty:
+                self.stats.writebacks += 1
+                self.stats.mem_write_bytes += size
+        self._entries.clear()
+        self._used_bytes = 0
+
+    def reset_stats(self) -> CacheStats:
+        """Return current stats and start a fresh counter epoch (cache
+        contents are kept -- used to discard warm-up traffic)."""
+        old = self.stats
+        self.stats = CacheStats()
+        return old

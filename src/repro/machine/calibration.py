@@ -1,0 +1,93 @@
+"""Calibration of the machine model's in-core constants.
+
+The cache simulator needs no calibration (capacities and the access
+stream are exact), but the execution simulator's in-core constants cannot
+be derived from first principles in Python.  Each is pinned to a number
+the paper itself states, so the calibration is traceable:
+
+``t_lup_core_ns = 80``
+    One LUP is 248 DP flops (Section III-A).  The paper reports the code
+    runs "at only about 5% of the theoretical peak performance of the CPU
+    despite being cache bound" (Section VI).  At 2.3 GHz x 16 flops/cycle
+    that is ~1.84 Gflop/s/core, i.e. ~135 ns/LUP *including* memory
+    stalls; subtracting the ECM transfer term of the decoupled code
+    (~200-400 B/LUP at 18 GB/s/core -> 11-22 ns) and the tiling overhead
+    leaves ~80 ns of pure in-core time.
+
+``core_bandwidth_gbs = 18``
+    A single Haswell core cannot saturate the socket: spatial blocking
+    needs ~6 cores to reach the 41 MLUP/s roofline (Fig. 6a/6b).  With
+    the ECM non-overlap model, saturation at m cores requires
+    ``m / (t_core + B_c/bw_core) = BW / B_c``; m = 6, B_c = 1216 B/LUP
+    and BW = 50 GB/s give bw_core = 18 GB/s.
+
+``tiled_overhead = 1.12``
+    Temporal blocking trades streaming loops for ragged diamond bounds;
+    Girih measures a ~10% in-core penalty (the companion paper [22]);
+    also consistent with MWD's ~75% parallel efficiency on the full chip
+    (Fig. 6a) once intra-tile efficiencies are accounted.
+
+``sync_ns = 150``
+    Girih synchronizes intra-tile threads with flag/atomic handshakes
+    (cheaper than a full OpenMP barrier); tiles synchronize once per
+    wavefront front.  The paper states the FIFO queue's lock overhead is
+    negligible, and with this value it is (< 1% of tile time); the
+    per-front cost is what drives large thread groups toward larger
+    ``B_z`` in the tuner, as in the paper.
+
+:func:`validate_calibration` recomputes the three headline shapes from
+the constants and is exercised by the test suite, so any recalibration
+that breaks the paper's qualitative results fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.models import spatial_code_balance
+from .spec import MachineSpec
+
+__all__ = ["CalibrationReport", "validate_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Headline quantities implied by a machine spec's constants."""
+
+    spatial_single_core_mlups: float
+    spatial_saturation_cores: float
+    spatial_saturated_mlups: float
+    decoupled_per_core_mlups: float
+    full_chip_decoupled_mlups: float
+
+    @property
+    def speedup_over_spatial(self) -> float:
+        return self.full_chip_decoupled_mlups / self.spatial_saturated_mlups
+
+
+def validate_calibration(spec: MachineSpec, mwd_code_balance: float = 250.0) -> CalibrationReport:
+    """Headline numbers implied by the calibration constants.
+
+    * spatial blocking must saturate the socket bandwidth at roughly six
+      cores and ~41 MLUP/s (Fig. 6a/6b);
+    * the decoupled (MWD) code at full chip must land at 3-4x spatial
+      (the paper's headline).
+    """
+    bc_sp = spatial_code_balance()
+    t_core = spec.t_lup_core_ns * 1e-9
+    r1 = 1.0 / (t_core + bc_sp / (spec.core_bandwidth_gbs * 1e9))
+    p_mem = spec.bandwidth_gbs * 1e9 / bc_sp
+    saturation_cores = p_mem / r1
+
+    t_tiled = t_core * spec.tiled_overhead
+    r1_mwd = 1.0 / (t_tiled + mwd_code_balance / (spec.core_bandwidth_gbs * 1e9))
+    # ~0.85 intra-tile efficiency is typical for the tuned configurations.
+    full_chip = spec.cores * r1_mwd * 0.85
+
+    return CalibrationReport(
+        spatial_single_core_mlups=r1 / 1e6,
+        spatial_saturation_cores=saturation_cores,
+        spatial_saturated_mlups=p_mem / 1e6,
+        decoupled_per_core_mlups=r1_mwd / 1e6,
+        full_chip_decoupled_mlups=full_chip / 1e6,
+    )

@@ -1,0 +1,202 @@
+"""Code-balance measurement campaigns (the LIKWID substitute).
+
+Each function replays a *representative steady-state window* of a real
+schedule through the LRU model of the shared L3 and reports bytes of main
+memory traffic per lattice-site update -- the quantity plotted in Figs. 5c,
+6c, 7d and 8d of the paper.
+
+Reduction to a representative window (documented in DESIGN.md):
+
+* **Tiled traversals**: traffic per LUP is periodic in the diamond bands,
+  so we build a plan that is ``n_streams`` diamond columns wide (the
+  number of concurrently executing thread groups -- they share the L3, so
+  their job streams are interleaved round-robin), execute one warm-up
+  band, and measure the next bands.  The z extent is shortened to a few
+  wavefront widths (steady state along z sets in after one window).
+* **Sweeps** (naive / spatially blocked): one warm-up time step, then
+  measured time steps, with the real ``ny`` (the layer condition depends
+  on it) and a shortened z extent.
+
+Results are memoized: the auto-tuner and the figure benchmarks revisit
+the same configurations many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, List
+
+from ..core.plan import TilingPlan
+from ..core.wavefront import RowJob, tile_row_jobs, wavefront_width
+from .cache import LRUCache
+from .spec import MachineSpec
+from .streams import ComponentStreamEmitter, StreamEmitter
+
+__all__ = [
+    "TrafficResult",
+    "measure_tiled_code_balance",
+    "measure_sweep_code_balance",
+]
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    """Outcome of one traffic measurement."""
+
+    mem_bytes: float
+    lups: float
+    cells: int
+    hit_rate: float
+
+    @property
+    def bytes_per_lup(self) -> float:
+        return self.mem_bytes / self.lups if self.lups else 0.0
+
+
+def _interleave_band(plan: TilingPlan, band: int) -> Iterator[RowJob]:
+    """Round-robin interleave the job streams of one band's tiles,
+    emulating concurrent thread groups sharing the L3."""
+    streams: List[Iterator[RowJob]] = [
+        tile_row_jobs(t, plan.nz, plan.bz) for t in plan.band_tiles(band)
+    ]
+    while streams:
+        alive: List[Iterator[RowJob]] = []
+        for s in streams:
+            job = next(s, None)
+            if job is not None:
+                yield job
+                alive.append(s)
+        streams = alive
+
+
+@lru_cache(maxsize=4096)
+def measure_tiled_code_balance(
+    spec: MachineSpec,
+    nx: int,
+    dw: int,
+    bz: int,
+    n_streams: int,
+    nz_sim: int | None = None,
+    measure_bands: int = 2,
+) -> TrafficResult:
+    """Measured bytes/LUP of a wavefront-diamond schedule.
+
+    Parameters
+    ----------
+    spec:
+        Machine model (provides the effective L3 capacity).
+    nx:
+        Real inner-dimension extent (sets the row size in bytes -- the
+        cache pressure scales with it, Eq. 11).
+    dw, bz:
+        Diamond width and wavefront block width.
+    n_streams:
+        Concurrently executing thread groups whose tile streams share the
+        cache (``threads // tg_size`` in MWD, ``threads`` in 1WD).
+    nz_sim:
+        Simulated z extent; defaults to a few wavefront windows.
+    """
+    if n_streams < 1:
+        raise ValueError("n_streams must be >= 1")
+    if nz_sim is None:
+        nz_sim = max(4 * wavefront_width(dw, bz), 48)
+    ny_sim = n_streams * dw
+    # Enough steps for one warm-up band plus the measured bands.
+    timesteps = max(dw * (measure_bands + 2) // 2, dw)
+    plan = TilingPlan.build(ny=ny_sim, nz=nz_sim, timesteps=timesteps, dw=dw, bz=bz)
+
+    cache = LRUCache(spec.usable_l3_bytes)
+    emitter = StreamEmitter(cache, ny=ny_sim, nz=nz_sim, nx=nx)
+    bands = plan.bands
+    warm = bands[0]
+    emitter.emit_jobs(_interleave_band(plan, warm))
+    cache.reset_stats()
+    cells0 = emitter.cells
+    for band in bands[1 : 1 + measure_bands]:
+        emitter.emit_jobs(_interleave_band(plan, band))
+    stats = cache.stats
+    cells = emitter.cells - cells0
+    return TrafficResult(
+        mem_bytes=float(stats.mem_bytes),
+        lups=cells * nx / 2.0,
+        cells=cells,
+        hit_rate=stats.hit_rate,
+    )
+
+
+def _sweep_rows(
+    emitter: ComponentStreamEmitter,
+    ny: int,
+    nz: int,
+    timesteps: int,
+    block_y: int | None,
+    threads: int,
+) -> None:
+    """Emit the baseline sweep: one loop nest per component per half step
+    (the paper's Listings), with ``threads`` static y-slabs interleaved.
+
+    Naive order (``block_y=None``) is z-outer / y-inner: the z-shifted
+    far rows are evicted before reuse at large grids.  Spatial blocking
+    makes the y-block the outer loop and sweeps z inside it, so a block's
+    rows stay resident between consecutive z planes -- the "layer
+    condition" of Section III-B.
+    """
+    from ..fdfd.specs import E_COMPONENTS, H_COMPONENTS
+
+    slab = -(-ny // threads)
+    slabs = [(t * slab, min((t + 1) * slab, ny)) for t in range(threads)]
+    slabs = [s for s in slabs if s[0] < s[1]]
+
+    def slab_steps(comp: str, y0: int, y1: int):
+        if block_y is None:
+            for z in range(nz):
+                yield (comp, y0, y1, z)
+        else:
+            for yb in range(y0, y1, block_y):
+                ye = min(yb + block_y, y1)
+                for z in range(nz):
+                    yield (comp, yb, ye, z)
+
+    for _ in range(timesteps):
+        for comps in (H_COMPONENTS, E_COMPONENTS):
+            for comp in comps:
+                streams = [slab_steps(comp, y0, y1) for (y0, y1) in slabs]
+                while streams:
+                    alive = []
+                    for s in streams:
+                        item = next(s, None)
+                        if item is not None:
+                            c, ya, yb_, z = item
+                            emitter.emit_component_rows(c, ya, yb_, z, z + 1)
+                            alive.append(s)
+                    streams = alive
+
+
+@lru_cache(maxsize=1024)
+def measure_sweep_code_balance(
+    spec: MachineSpec,
+    nx: int,
+    ny: int,
+    block_y: int | None,
+    threads: int = 1,
+    nz_sim: int = 12,
+    timesteps: int = 3,
+) -> TrafficResult:
+    """Measured bytes/LUP of the naive or spatially blocked sweep."""
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    cache = LRUCache(spec.usable_l3_bytes)
+    emitter = ComponentStreamEmitter(cache, ny=ny, nz=nz_sim, nx=nx)
+    _sweep_rows(emitter, ny, nz_sim, 1, block_y, threads)
+    cache.reset_stats()
+    cells0 = emitter.cells
+    _sweep_rows(emitter, ny, nz_sim, timesteps - 1, block_y, threads)
+    stats = cache.stats
+    cells = emitter.cells - cells0
+    return TrafficResult(
+        mem_bytes=float(stats.mem_bytes),
+        lups=cells * nx / 12.0,
+        cells=cells,
+        hit_rate=stats.hit_rate,
+    )

@@ -1,0 +1,119 @@
+"""Machine specifications for the simulated multicore substrate.
+
+The paper's testbed is an 18-core Intel Xeon E5-2699 v3 (Haswell EP):
+2.3 GHz nominal, 45 MiB shared L3, ~50 GB/s applicable memory bandwidth,
+Cluster-on-Die off, Turbo off, no SMT (Section IV-A).  :data:`HASWELL_EP`
+encodes it; the ablation benchmarks derive lower-machine-balance variants
+(the "more memory bandwidth-starved systems" the paper argues MWD is
+immune to) via :meth:`MachineSpec.with_bandwidth`.
+
+The in-core throughput parameters are *calibrated*, not measured: see
+:mod:`repro.machine.calibration` for the provenance of each constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "HASWELL_EP"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A single-socket multicore machine model.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    cores:
+        Physical cores (= usable threads; the paper disables SMT).
+    clock_ghz:
+        Nominal core clock.
+    l3_bytes:
+        Shared last-level cache capacity.
+    bandwidth_gbs:
+        Applicable (saturated) memory bandwidth of the socket, GB/s.
+    core_bandwidth_gbs:
+        Memory bandwidth a *single* core can draw (Haswell cores cannot
+        individually saturate the socket; this is why spatial blocking
+        needs ~6 cores to hit the roofline in Fig. 6).
+    usable_cache_fraction:
+        The paper's rule of thumb: only about half the L3 is usable for
+        tile data (associativity conflicts, other data, pseudo-LRU).  The
+        cache simulator uses this as its effective capacity and the
+        auto-tuner as its pruning budget.
+    t_lup_core_ns:
+        Pure in-core execution time of one lattice-site update (all 12
+        component updates) per thread, with all operands in cache.
+    tiled_overhead:
+        Multiplier >= 1 on the in-core time for temporally blocked
+        traversals (ragged loop bounds, queue operations, extra index
+        arithmetic).
+    sync_ns:
+        Cost of one intra-tile synchronization point (per level per front
+        per thread group), and of one FIFO queue operation.
+    """
+
+    name: str
+    cores: int
+    clock_ghz: float
+    l3_bytes: int
+    bandwidth_gbs: float
+    core_bandwidth_gbs: float = 18.0
+    usable_cache_fraction: float = 0.5
+    t_lup_core_ns: float = 80.0
+    tiled_overhead: float = 1.12
+    sync_ns: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.clock_ghz <= 0 or self.bandwidth_gbs <= 0 or self.core_bandwidth_gbs <= 0:
+            raise ValueError("clock and bandwidths must be positive")
+        if self.l3_bytes <= 0:
+            raise ValueError("l3_bytes must be positive")
+        if not (0 < self.usable_cache_fraction <= 1):
+            raise ValueError("usable_cache_fraction must be in (0, 1]")
+        if self.t_lup_core_ns <= 0:
+            raise ValueError("t_lup_core_ns must be positive")
+        if self.tiled_overhead < 1:
+            raise ValueError("tiled_overhead must be >= 1")
+        if self.sync_ns < 0:
+            raise ValueError("sync_ns must be >= 0")
+
+    @property
+    def usable_l3_bytes(self) -> float:
+        """Effective cache capacity for tile data (22.5 MiB on Haswell)."""
+        return self.l3_bytes * self.usable_cache_fraction
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak DP rate assuming 16 flops/cycle/core (2x FMA AVX2)."""
+        return self.cores * self.clock_ghz * 16.0
+
+    def machine_balance(self, flops_per_lup: int = 248) -> float:
+        """Bytes/flop the memory system can feed at peak compute."""
+        return self.bandwidth_gbs / self.peak_gflops
+
+    def with_bandwidth(self, bandwidth_gbs: float) -> "MachineSpec":
+        """A bandwidth-starved variant (for the machine-balance ablation)."""
+        return replace(
+            self,
+            name=f"{self.name}@{bandwidth_gbs:g}GB/s",
+            bandwidth_gbs=bandwidth_gbs,
+            core_bandwidth_gbs=min(self.core_bandwidth_gbs, bandwidth_gbs),
+        )
+
+    def with_cores(self, cores: int) -> "MachineSpec":
+        return replace(self, name=f"{self.name}x{cores}", cores=cores)
+
+
+#: The paper's testbed (Section IV-A).
+HASWELL_EP = MachineSpec(
+    name="Xeon E5-2699 v3 (Haswell EP)",
+    cores=18,
+    clock_ghz=2.3,
+    l3_bytes=45 * 2**20,
+    bandwidth_gbs=50.0,
+)

@@ -1,0 +1,288 @@
+"""Memory-access streams of THIIM schedules, at cache-row granularity.
+
+This module turns a stream of :class:`repro.core.wavefront.RowJob` s into
+the chunk-access stream the LRU cache simulator consumes.  It is derived
+*programmatically* from the kernel specs of :mod:`repro.fdfd.specs`, so
+the traffic measurement and the numerics can never drift apart.
+
+Array groups
+------------
+The 40 domain-sized arrays partition into eight *access-signature groups*:
+arrays in one group are touched at exactly the same (dy, dz) offsets by
+the same half-step class, so aggregating them into one cache chunk per
+(y, z) row is lossless (it only shortens the simulated stream 3x):
+
+* six field pairs -- ``(Exy, Exz)``, ``(Eyx, Eyz)``, ``(Ezx, Ezy)`` and
+  the H counterparts; each is written by its own class at (0, 0) and read
+  by the other class at the offsets induced by the curl structure;
+* two coefficient bundles -- the 14 arrays of the H updates and the 14 of
+  the E updates, streamed read-only at (0, 0).
+
+A chunk is one x-row of one group: ``len(group) * 16 * nx`` bytes.
+
+Write counting follows the paper's Section III-A convention (see
+:mod:`repro.machine.cache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..fdfd.specs import (
+    ALL_COMPONENTS,
+    AXIS_Y,
+    AXIS_Z,
+    BYTES_PER_NUMBER,
+    E_COMPONENTS,
+    H_COMPONENTS,
+    SPECS,
+)
+from .cache import LRUCache
+from ..core.wavefront import RowJob
+
+__all__ = [
+    "ArrayGroup",
+    "AccessOp",
+    "ARRAY_GROUPS",
+    "CLASS_RECIPES",
+    "ALL_ARRAYS",
+    "COMPONENT_RECIPES",
+    "StreamEmitter",
+    "ComponentStreamEmitter",
+]
+
+
+@dataclass(frozen=True)
+class ArrayGroup:
+    """A set of arrays with identical access signature."""
+
+    gid: int
+    name: str
+    arrays: Tuple[str, ...]
+
+    def row_bytes(self, nx: int) -> int:
+        return len(self.arrays) * BYTES_PER_NUMBER * nx
+
+
+@dataclass(frozen=True)
+class AccessOp:
+    """One chunk touch per (y, z) cell of a job: group ``gid`` displaced
+    by ``(dy, dz)``, read or write."""
+
+    gid: int
+    dy: int
+    dz: int
+    write: bool
+
+
+def _read_offsets(array: str) -> frozenset[Tuple[int, int]]:
+    """All (dy, dz) offsets at which ``array`` is read by the other class."""
+    offs = {(0, 0)}  # every pair array is read unshifted by two kernels
+    for spec in SPECS.values():
+        if array in spec.reads:
+            if spec.deriv_axis == AXIS_Y:
+                offs.add((spec.shift, 0))
+            elif spec.deriv_axis == AXIS_Z:
+                offs.add((0, spec.shift))
+            # x-axis shifts stay inside the row: no extra chunk touch.
+    return frozenset(offs)
+
+
+def _build_groups() -> Tuple[Tuple[ArrayGroup, ...], Dict[str, ArrayGroup]]:
+    """Partition the 40 arrays into access-signature groups."""
+    groups: List[ArrayGroup] = []
+    by_array: Dict[str, ArrayGroup] = {}
+
+    # Field pairs: the two split parts of one physical component always
+    # share a signature (they are read summed).
+    pairs: Dict[str, List[str]] = {}
+    for name in ALL_COMPONENTS:
+        pairs.setdefault(name[:2], []).append(name)
+    for phys, arrays in sorted(pairs.items()):
+        sig0 = _read_offsets(arrays[0])
+        for a in arrays[1:]:
+            assert _read_offsets(a) == sig0, f"split pair {phys} signature mismatch"
+        g = ArrayGroup(gid=len(groups), name=phys, arrays=tuple(sorted(arrays)))
+        groups.append(g)
+        for a in arrays:
+            by_array[a] = g
+
+    # Coefficient bundles per class.
+    for cls, comps in (("H", H_COMPONENTS), ("E", E_COMPONENTS)):
+        arrays = tuple(
+            sorted(name for c in comps for name in SPECS[c].coeff_names)
+        )
+        g = ArrayGroup(gid=len(groups), name=f"coeff{cls}", arrays=arrays)
+        groups.append(g)
+        for a in arrays:
+            by_array[a] = g
+    return tuple(groups), by_array
+
+
+def _build_recipes(
+    groups: Tuple[ArrayGroup, ...], by_array: Dict[str, ArrayGroup]
+) -> Dict[str, Tuple[AccessOp, ...]]:
+    """Per half-step class, the deduplicated chunk touches per (y, z)."""
+    recipes: Dict[str, Tuple[AccessOp, ...]] = {}
+    for cls, comps in (("H", H_COMPONENTS), ("E", E_COMPONENTS)):
+        reads: set[Tuple[int, int, int]] = set()
+        writes: set[int] = set()
+        for comp in comps:
+            spec = SPECS[comp]
+            own = by_array[comp]
+            reads.add((own.gid, 0, 0))  # c * F_old
+            writes.add(own.gid)
+            for r in spec.reads:
+                g = by_array[r]
+                reads.add((g.gid, 0, 0))
+                if spec.deriv_axis == AXIS_Y:
+                    reads.add((g.gid, spec.shift, 0))
+                elif spec.deriv_axis == AXIS_Z:
+                    reads.add((g.gid, 0, spec.shift))
+            cg = by_array[spec.coeff_t]
+            reads.add((cg.gid, 0, 0))
+        ops: List[AccessOp] = [
+            AccessOp(gid, dy, dz, write=False) for gid, dy, dz in sorted(reads)
+        ]
+        # Reads before writes so a cold own-row charges load + write-back,
+        # matching the paper's "own field read and written" counting.
+        ops += [AccessOp(gid, 0, 0, write=True) for gid in sorted(writes)]
+        recipes[cls] = tuple(ops)
+    return recipes
+
+
+ARRAY_GROUPS, _GROUP_OF = _build_groups()
+CLASS_RECIPES = _build_recipes(ARRAY_GROUPS, _GROUP_OF)
+
+# ---------------------------------------------------------------------------
+# Per-component recipes at single-array granularity.
+#
+# The *baseline* code (naive and spatially blocked) runs one loop nest per
+# component, exactly like the paper's Listings 1 and 2 -- so arrays shared
+# by two components are streamed twice per half step, which is how Eq. 8
+# arrives at 1344 bytes/LUP without deduplication.  The tiled kernels, by
+# contrast, update all components of a half step while the rows sit in
+# cache, which is the fused (group-level) model above.
+# ---------------------------------------------------------------------------
+
+#: Stable order of all 40 domain-sized arrays.
+ALL_ARRAYS: Tuple[str, ...] = tuple(ALL_COMPONENTS) + tuple(
+    sorted(name for s in SPECS.values() for name in s.coeff_names)
+)
+_ARRAY_INDEX = {name: i for i, name in enumerate(ALL_ARRAYS)}
+
+
+def _build_component_recipes() -> Dict[str, Tuple[AccessOp, ...]]:
+    recipes: Dict[str, Tuple[AccessOp, ...]] = {}
+    for comp, spec in SPECS.items():
+        ops: List[AccessOp] = []
+        # Reads: own old value, the two pair arrays (near + far), coeffs.
+        ops.append(AccessOp(_ARRAY_INDEX[comp], 0, 0, write=False))
+        for r in spec.reads:
+            ops.append(AccessOp(_ARRAY_INDEX[r], 0, 0, write=False))
+            if spec.deriv_axis == AXIS_Y:
+                ops.append(AccessOp(_ARRAY_INDEX[r], spec.shift, 0, write=False))
+            elif spec.deriv_axis == AXIS_Z:
+                ops.append(AccessOp(_ARRAY_INDEX[r], 0, spec.shift, write=False))
+        for cname in spec.coeff_names:
+            ops.append(AccessOp(_ARRAY_INDEX[cname], 0, 0, write=False))
+        ops.append(AccessOp(_ARRAY_INDEX[comp], 0, 0, write=True))
+        recipes[comp] = tuple(ops)
+    return recipes
+
+
+COMPONENT_RECIPES = _build_component_recipes()
+
+
+class StreamEmitter:
+    """Feeds row-job streams into an LRU cache and accounts LUPs.
+
+    One emitter wraps one shared cache; concurrent thread groups are
+    modelled by interleaving their jobs through the same emitter (they
+    share the L3).
+    """
+
+    def __init__(self, cache: LRUCache, ny: int, nz: int, nx: int):
+        if ny < 1 or nz < 1 or nx < 1:
+            raise ValueError("ny, nz, nx must be >= 1")
+        self.cache = cache
+        self.ny = ny
+        self.nz = nz
+        self.nx = nx
+        self._row_bytes = [g.row_bytes(nx) for g in ARRAY_GROUPS]
+        self.cells = 0  # (y, z) cell half-updates emitted
+
+    def emit_job(self, job: RowJob) -> None:
+        """Replay one row job's chunk accesses."""
+        cache = self.cache
+        ny, nz = self.ny, self.nz
+        nzz = nz
+        for op in CLASS_RECIPES[job.field]:
+            y0 = max(job.y_lo + op.dy, 0)
+            y1 = min(job.y_hi + op.dy, ny)
+            z0 = max(job.z_lo + op.dz, 0)
+            z1 = min(job.z_hi + op.dz, nz)
+            if y0 >= y1 or z0 >= z1:
+                continue
+            size = self._row_bytes[op.gid]
+            write = op.write
+            base = op.gid * ny
+            for y in range(y0, y1):
+                row = (base + y) * nzz
+                for z in range(z0, z1):
+                    cache.access(row + z, size, write)
+        self.cells += job.cells_per_x
+
+    def emit_jobs(self, jobs: Iterable[RowJob]) -> None:
+        for job in jobs:
+            self.emit_job(job)
+
+    @property
+    def lups(self) -> float:
+        """Full lattice-site updates emitted (absolute, including x)."""
+        return self.cells * self.nx / 2.0
+
+
+class ComponentStreamEmitter:
+    """Single-array-granularity emitter for per-component loop nests.
+
+    Models the baseline code structure: one full sweep per component per
+    half step (the paper's Listings), without cross-component fusion.
+    ``cells`` counts *component*-row-cells; 12 of them make one LUP per
+    x-cell.
+    """
+
+    def __init__(self, cache: LRUCache, ny: int, nz: int, nx: int):
+        if ny < 1 or nz < 1 or nx < 1:
+            raise ValueError("ny, nz, nx must be >= 1")
+        self.cache = cache
+        self.ny = ny
+        self.nz = nz
+        self.nx = nx
+        self._row_bytes = BYTES_PER_NUMBER * nx
+        self.cells = 0
+
+    def emit_component_rows(self, comp: str, y_lo: int, y_hi: int, z_lo: int, z_hi: int) -> None:
+        cache = self.cache
+        ny, nz = self.ny, self.nz
+        size = self._row_bytes
+        for op in COMPONENT_RECIPES[comp]:
+            y0 = max(y_lo + op.dy, 0)
+            y1 = min(y_hi + op.dy, ny)
+            z0 = max(z_lo + op.dz, 0)
+            z1 = min(z_hi + op.dz, nz)
+            if y0 >= y1 or z0 >= z1:
+                continue
+            base = op.gid * ny
+            write = op.write
+            for y in range(y0, y1):
+                row = (base + y) * nz
+                for z in range(z0, z1):
+                    cache.access(row + z, size, write)
+        self.cells += (y_hi - y_lo) * (z_hi - z_lo)
+
+    @property
+    def lups(self) -> float:
+        """Full LUPs: 12 component-cell updates each."""
+        return self.cells * self.nx / 12.0

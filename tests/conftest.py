@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fdfd import FieldState, Grid, random_coefficients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid():
+    return Grid(nz=8, ny=9, nx=7)
+
+
+@pytest.fixture
+def small_setup(small_grid, rng):
+    """A small random (fields, coefficients) pair for traversal tests."""
+    coeffs = random_coefficients(small_grid, seed=7)
+    fields = FieldState(small_grid).fill_random(rng)
+    return fields, coeffs
+
+
+def random_state(grid: Grid, seed: int = 0) -> FieldState:
+    return FieldState(grid).fill_random(np.random.default_rng(seed))

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_args(self):
+        args = build_parser().parse_args(
+            ["plan", "--ny", "16", "--nz", "16", "--steps", "4", "--dw", "4"]
+        )
+        assert args.command == "plan" and args.bz == 1
+
+
+class TestPlanCommand:
+    def test_valid_plan(self, capsys):
+        rc = main(["plan", "--ny", "24", "--nz", "16", "--steps", "6", "--dw", "4", "--bz", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dependency check: OK" in out
+        assert "interior diamond" in out
+
+    def test_invalid_dw(self):
+        with pytest.raises(ValueError):
+            main(["plan", "--ny", "16", "--nz", "16", "--steps", "4", "--dw", "3"])
+
+
+class TestTuneCommand:
+    def test_spatial(self, capsys):
+        rc = main(["tune", "--grid", "128", "--threads", "4", "--variant", "spatial"])
+        assert rc == 0
+        assert "spatial@4t" in capsys.readouterr().out
+
+    def test_mwd_with_bandwidth_override(self, capsys):
+        rc = main(["tune", "--grid", "128", "--threads", "6", "--variant", "mwd",
+                   "--bandwidth", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "30 GB/s" in out
+
+
+class TestFiguresCommand:
+    def test_section3_with_json(self, tmp_path, capsys):
+        rc = main(["figures", "--which", "section3", "--out", str(tmp_path)])
+        assert rc == 0
+        data = json.load(open(tmp_path / "section3.json"))
+        assert any(r["quantity"] == "flops/LUP" for r in data)
+        assert "Section III" in capsys.readouterr().out
+
+    def test_fig5_quick(self, capsys):
+        rc = main(["figures", "--which", "fig5", "--quick"])
+        assert rc == 0
+        assert "Fig. 5" in capsys.readouterr().out
+
+
+class TestSolveCommand:
+    def test_vacuum_solve_with_checkpoint(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "state.npz")
+        vtk = str(tmp_path / "field.vtk")
+        rc = main(["solve", "--preset", "vacuum", "--grid", "10",
+                   "--wavelength", "10", "--tol", "1e-4", "--max-steps", "1500",
+                   "--save", ckpt, "--vtk", vtk])
+        assert rc == 0
+        assert os.path.exists(ckpt) and os.path.exists(vtk)
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+    def test_tiled_solve(self, capsys):
+        rc = main(["solve", "--preset", "absorber", "--grid", "10",
+                   "--wavelength", "10", "--tol", "1e-4", "--max-steps", "2000",
+                   "--tiled", "--dw", "4", "--bz", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TiledTHIIM" in out and "converged" in out

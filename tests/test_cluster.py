@@ -1,0 +1,155 @@
+"""Tests for the distributed-memory layer: decomposition geometry, the
+communication cost model, and bitwise equality of the halo-exchanged
+multi-rank run with the single-domain sweep."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CommCostModel,
+    DistributedTHIIM,
+    RankLayout,
+    choose_decomposition,
+)
+from repro.fdfd import FieldState, Grid, naive_sweep, random_coefficients
+
+from conftest import random_state
+
+
+class TestRankLayout:
+    def test_subdomains_partition_grid(self):
+        grid = Grid(nz=13, ny=10, nx=9)
+        layout = RankLayout(grid, pz=3, py=2, px=2)
+        subs = layout.subdomains()
+        assert len(subs) == 12
+        total = sum(s.n_cells for s in subs.values())
+        assert total == grid.n_cells
+        # Ranges per axis tile exactly.
+        z_ranges = sorted({s.z for s in subs.values()})
+        assert z_ranges[0][0] == 0 and z_ranges[-1][1] == 13
+        for (a, b), (c, d) in zip(z_ranges, z_ranges[1:]):
+            assert b == c
+
+    def test_neighbor_interior_and_edges(self):
+        grid = Grid(nz=12, ny=12, nx=12)
+        layout = RankLayout(grid, pz=2, py=2, px=1)
+        assert layout.neighbor((0, 0, 0), 0, +1) == (1, 0, 0)
+        assert layout.neighbor((1, 0, 0), 0, +1) is None
+        assert layout.neighbor((0, 0, 0), 1, -1) is None
+
+    def test_neighbor_periodic_wraps(self):
+        grid = Grid(nz=12, ny=12, nx=12, periodic=(False, True, True))
+        layout = RankLayout(grid, pz=1, py=2, px=1)
+        assert layout.neighbor((0, 1, 0), 1, +1) == (0, 0, 0)
+        # Single rank on a periodic axis wraps to itself.
+        assert layout.neighbor((0, 0, 0), 2, +1) == (0, 0, 0)
+
+    def test_too_many_ranks_rejected(self):
+        grid = Grid(nz=4, ny=4, nx=4)
+        with pytest.raises(ValueError):
+            RankLayout(grid, pz=4, py=1, px=1)
+        with pytest.raises(ValueError):
+            RankLayout(grid, pz=0, py=1, px=1)
+
+
+class TestCommCostModel:
+    def test_x_faces_most_expensive(self):
+        """Section VI: the leading-dimension halo is not contiguous."""
+        m = CommCostModel()
+        cells = 64 * 64
+        assert m.face_cost_us(cells, 2) > m.face_cost_us(cells, 1) > m.face_cost_us(cells, 0)
+
+    def test_choose_avoids_x_axis(self):
+        grid = Grid(nz=64, ny=64, nx=64)
+        layout = choose_decomposition(grid, 8)
+        assert layout.px == 1  # x split only as a last resort
+        assert layout.n_ranks == 8
+
+    def test_choose_thin_domain_keeps_thin_axis_undivided(self):
+        """Thin dimension mapped to x: never decomposed; the others carry
+        the ranks (the paper's thin-domain argument)."""
+        grid = Grid(nz=128, ny=128, nx=16)
+        layout = choose_decomposition(grid, 16)
+        assert layout.px == 1
+        assert layout.pz * layout.py == 16
+
+    def test_surface_to_volume_improves_with_cubes(self):
+        grid = Grid(nz=64, ny=64, nx=64)
+        m = CommCostModel()
+        slab = RankLayout(grid, pz=8, py=1, px=1)
+        cube = RankLayout(grid, pz=2, py=4, px=1)
+        assert m.surface_to_volume(cube) < m.surface_to_volume(slab)
+
+    def test_choose_validation(self):
+        with pytest.raises(ValueError):
+            choose_decomposition(Grid(nz=4, ny=4, nx=4), 0)
+        with pytest.raises(ValueError):
+            choose_decomposition(Grid(nz=3, ny=3, nx=3), 64)
+
+
+class TestDistributedEqualsGlobal:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 1, 1), (1, 2, 1), (1, 1, 2),
+                                       (2, 2, 1), (2, 2, 2), (3, 2, 1)])
+    def test_bitwise_equality(self, dims):
+        grid = Grid(nz=9, ny=8, nx=7)
+        coeffs = random_coefficients(grid, seed=5)
+        f_global = random_state(grid, seed=6)
+        f_dist = f_global.copy()
+
+        naive_sweep(f_global, coeffs, 3)
+
+        layout = RankLayout(grid, *dims)
+        dist = DistributedTHIIM(layout, f_dist, coeffs)
+        dist.step(3)
+        gathered = dist.gather()
+        assert f_global.max_abs_difference(gathered) == 0.0
+
+    def test_periodic_x_distributed(self):
+        grid = Grid(nz=8, ny=8, nx=8, periodic=(False, False, True))
+        coeffs = random_coefficients(grid, seed=15)
+        f_global = random_state(grid, seed=16)
+        f_dist = f_global.copy()
+        naive_sweep(f_global, coeffs, 2)
+        layout = RankLayout(grid, 2, 1, 2)  # also decomposes the periodic axis
+        dist = DistributedTHIIM(layout, f_dist, coeffs)
+        dist.step(2)
+        assert f_global.max_abs_difference(dist.gather()) == 0.0
+
+    def test_periodic_undecomposed_axis(self):
+        grid = Grid(nz=8, ny=8, nx=8, periodic=(False, True, False))
+        coeffs = random_coefficients(grid, seed=25)
+        f_global = random_state(grid, seed=26)
+        f_dist = f_global.copy()
+        naive_sweep(f_global, coeffs, 2)
+        layout = RankLayout(grid, 2, 1, 1)  # periodic y stays on one rank
+        dist = DistributedTHIIM(layout, f_dist, coeffs)
+        dist.step(2)
+        assert f_global.max_abs_difference(dist.gather()) == 0.0
+
+    def test_comm_stats_accumulate(self):
+        grid = Grid(nz=8, ny=8, nx=8)
+        coeffs = random_coefficients(grid, seed=35)
+        layout = RankLayout(grid, 2, 1, 1)
+        dist = DistributedTHIIM(layout, random_state(grid, seed=36), coeffs)
+        dist.step(2)
+        # Two ranks, one internal z face: 6 arrays per half step per
+        # direction-relevant rank; both half steps, 2 steps.
+        assert dist.stats.messages == 2 * 2 * 6
+        assert dist.stats.bytes_total == dist.stats.messages * 8 * 8 * 16
+        assert dist.halo_bytes_per_step() == dist.stats.bytes_total / 2
+        assert dist.stats.bytes_by_axis[0] == dist.stats.bytes_total
+        assert dist.stats.bytes_by_axis[2] == 0
+
+    def test_mismatched_grid_rejected(self):
+        grid = Grid(nz=8, ny=8, nx=8)
+        other = Grid(nz=10, ny=8, nx=8)
+        layout = RankLayout(grid, 2, 1, 1)
+        with pytest.raises(ValueError):
+            DistributedTHIIM(layout, FieldState(other), random_coefficients(other))
+
+    def test_negative_steps_rejected(self):
+        grid = Grid(nz=8, ny=8, nx=8)
+        layout = RankLayout(grid, 1, 1, 1)
+        dist = DistributedTHIIM(layout, FieldState(grid), random_coefficients(grid))
+        with pytest.raises(ValueError):
+            dist.step(-1)

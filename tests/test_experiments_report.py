@@ -1,0 +1,124 @@
+"""Tests for the experiment harness internals: table rendering, JSON
+persistence, the water-filling allocator, and quick-path figure
+generators (the full sweeps live in benchmarks/)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import (
+    ablation_thin_domain,
+    fig5_cache_model,
+    format_series,
+    format_table,
+    save_json,
+    section3_table,
+)
+from repro.machine.simulator import _water_fill
+
+
+class TestFormatTable:
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 3.14159}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_number_formatting(self):
+        rows = [{"v": 123456.0}, {"v": 0.00123}, {"v": 12.34}]
+        text = format_table(rows)
+        assert "123,456" in text
+        assert "0.00123" in text
+        assert "12.3" in text
+
+    def test_format_series(self):
+        series = {"a": [(1, 10), (2, 20)], "b": [(1, 5)]}
+        text = format_series(series, "x", "MLUPs", title="S")
+        assert "S" in text and "MLUPs" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, two x rows
+
+
+class TestSaveJson:
+    def test_roundtrip(self, tmp_path):
+        data = [{"x": 1, "y": "s"}]
+        path = save_json(data, str(tmp_path / "sub" / "out.json"))
+        assert json.load(open(path)) == data
+
+    def test_non_serializable_coerced(self, tmp_path):
+        path = save_json({"v": complex(1, 2)}, str(tmp_path / "c.json"))
+        assert "1" in open(path).read()
+
+
+class TestWaterFill:
+    def test_unconstrained(self):
+        rates = _water_fill(demands=[100.0, 100.0], caps=[1e6, 1e6], bandwidth=1e9)
+        assert rates == [1e6, 1e6]
+
+    def test_fully_constrained_fair_split(self):
+        rates = _water_fill(demands=[100.0, 100.0], caps=[1e9, 1e9], bandwidth=1e8)
+        assert rates[0] == pytest.approx(5e5)
+        assert rates[1] == pytest.approx(5e5)
+        assert sum(r * 100.0 for r in rates) == pytest.approx(1e8)
+
+    def test_mixed_small_user_keeps_cap(self):
+        """A light consumer keeps its cap; the heavy ones split the rest."""
+        rates = _water_fill(demands=[10.0, 1000.0, 1000.0], caps=[1e6, 1e9, 1e9],
+                            bandwidth=1e8)
+        assert rates[0] == 1e6
+        remaining = 1e8 - 1e6 * 10.0
+        assert rates[1] == pytest.approx(remaining / 2 / 1000.0)
+
+    def test_budget_never_exceeded(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(50):
+            n = rng.randint(1, 8)
+            demands = [rng.uniform(1, 2000) for _ in range(n)]
+            caps = [rng.uniform(1e4, 1e8) for _ in range(n)]
+            bw = rng.uniform(1e6, 1e10)
+            rates = _water_fill(demands, caps, bw)
+            used = sum(r * d for r, d in zip(rates, demands))
+            assert used <= bw * (1 + 1e-9) or all(
+                r == c for r, c in zip(rates, caps)
+            )
+            for r, c in zip(rates, caps):
+                assert r <= c * (1 + 1e-9)
+
+    def test_zero_demand_gets_cap(self):
+        rates = _water_fill(demands=[0.0], caps=[123.0], bandwidth=1.0)
+        assert rates == [123.0]
+
+
+class TestQuickFigurePaths:
+    def test_section3_runs(self):
+        rows = section3_table()
+        assert len(rows) == 8
+        assert all("paper" in r and "reproduced" in r for r in rows)
+
+    def test_fig5_reduced(self):
+        rows = fig5_cache_model(dw_values=(4,), bz_values=(1,), nx=96)
+        assert len(rows) == 1
+        r = rows[0]
+        assert r["fits_usable_L3"]
+        assert math.isfinite(r["Bc_measured"])
+
+    def test_thin_domain_ablation(self):
+        rows = ablation_thin_domain(thin=32, wide=256, dw=4)
+        assert len(rows) == 2
+        thin = next(r for r in rows if r["Nx"] == 32)
+        wide = next(r for r in rows if r["Nx"] == 256)
+        assert thin["Cs_MiB"] < wide["Cs_MiB"]

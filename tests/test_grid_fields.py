@@ -1,0 +1,143 @@
+"""Tests for the grid descriptor and the field-state container."""
+
+import numpy as np
+import pytest
+
+from repro.fdfd import ALL_COMPONENTS, FieldState, Grid
+
+
+class TestGrid:
+    def test_shape_and_cells(self):
+        g = Grid(nz=4, ny=5, nx=6)
+        assert g.shape == (4, 5, 6)
+        assert g.n_cells == 120
+
+    def test_cube(self):
+        g = Grid.cube(16)
+        assert g.shape == (16, 16, 16)
+
+    @pytest.mark.parametrize("bad", [dict(nz=2, ny=5, nx=5), dict(nz=5, ny=0, nx=5)])
+    def test_too_small_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Grid(**bad)
+
+    def test_negative_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            Grid(nz=4, ny=4, nx=4, dx=-1.0)
+
+    def test_cfl_time_step_unit_cube(self):
+        g = Grid.cube(8)
+        # 1 / sqrt(3) at CFL = 1.
+        assert g.cfl_time_step(cfl=1.0) == pytest.approx(1 / np.sqrt(3))
+        assert g.cfl_time_step(cfl=0.5) == pytest.approx(0.5 / np.sqrt(3))
+
+    def test_cfl_respects_speed(self):
+        g = Grid.cube(8)
+        assert g.cfl_time_step(light_speed=2.0) == pytest.approx(g.cfl_time_step() / 2)
+
+    def test_cfl_invalid(self):
+        with pytest.raises(ValueError):
+            Grid.cube(8).cfl_time_step(cfl=0.0)
+
+    def test_interior_range(self):
+        g = Grid(nz=10, ny=10, nx=10)
+        assert g.interior_range(0, +1) == (0, 9)
+        assert g.interior_range(0, -1) == (1, 10)
+        assert g.interior_range(1, 0) == (0, 10)
+
+    def test_interior_range_periodic(self):
+        g = Grid(nz=10, ny=10, nx=10, periodic=(True, False, False))
+        assert g.interior_range(0, +1) == (0, 10)
+        assert g.interior_range(1, +1) == (0, 9)
+
+    def test_memory_bytes_640_per_cell(self):
+        g = Grid.cube(8)
+        assert g.memory_bytes() == 8**3 * 640
+
+    def test_zeros_and_full(self):
+        g = Grid(nz=3, ny=4, nx=5)
+        z = g.zeros()
+        assert z.shape == g.shape and z.dtype == np.complex128 and not z.any()
+        f = g.full(2 + 1j)
+        assert np.all(f == 2 + 1j)
+
+
+class TestFieldState:
+    def test_init_zero(self):
+        s = FieldState(Grid.cube(4))
+        assert s.norm() == 0.0
+
+    def test_component_access(self):
+        g = Grid.cube(4)
+        s = FieldState(g)
+        s["Exy"] = np.ones(g.shape)
+        assert s["Exy"][0, 0, 0] == 1.0
+        with pytest.raises(KeyError):
+            s["nope"]
+
+    def test_init_validates_shapes(self):
+        g = Grid.cube(4)
+        arrays = {n: g.zeros() for n in ALL_COMPONENTS}
+        arrays["Exy"] = np.zeros((3, 3, 3), dtype=np.complex128)
+        with pytest.raises(ValueError):
+            FieldState(g, arrays)
+
+    def test_init_validates_dtype(self):
+        g = Grid.cube(4)
+        arrays = {n: g.zeros() for n in ALL_COMPONENTS}
+        arrays["Exy"] = np.zeros(g.shape, dtype=np.float64)
+        with pytest.raises(TypeError):
+            FieldState(g, arrays)
+
+    def test_init_missing_component(self):
+        g = Grid.cube(4)
+        arrays = {n: g.zeros() for n in ALL_COMPONENTS[:-1]}
+        with pytest.raises(KeyError):
+            FieldState(g, arrays)
+
+    def test_copy_is_deep(self, rng):
+        s = FieldState(Grid.cube(4)).fill_random(rng)
+        c = s.copy()
+        c["Exy"][...] = 0
+        assert s["Exy"].any()
+
+    def test_combined(self, rng):
+        s = FieldState(Grid.cube(4)).fill_random(rng)
+        assert np.allclose(s.combined("Ex"), s["Exy"] + s["Exz"])
+        assert np.allclose(s.combined("Hz"), s["Hzx"] + s["Hzy"])
+        with pytest.raises(KeyError):
+            s.combined("Qx")
+
+    def test_vectors(self, rng):
+        s = FieldState(Grid.cube(4)).fill_random(rng)
+        ex, ey, ez = s.e_vector()
+        assert np.allclose(ex, s["Exy"] + s["Exz"])
+        assert np.allclose(ey, s["Eyz"] + s["Eyx"])
+        assert np.allclose(ez, s["Ezx"] + s["Ezy"])
+        hx, hy, hz = s.h_vector()
+        assert np.allclose(hx, s["Hxy"] + s["Hxz"])
+
+    def test_allclose_and_difference(self, rng):
+        s = FieldState(Grid.cube(4)).fill_random(rng)
+        c = s.copy()
+        assert s.allclose(c)
+        c["Hzy"][1, 1, 1] += 1.0
+        assert not s.allclose(c)
+        assert s.max_abs_difference(c) == pytest.approx(1.0)
+
+    def test_norms(self):
+        g = Grid.cube(4)
+        s = FieldState(g)
+        s["Exy"][...] = 3.0
+        assert s.field_norm("E") == pytest.approx(3.0 * np.sqrt(g.n_cells))
+        assert s.field_norm("H") == 0.0
+        assert s.norm() == pytest.approx(3.0 * np.sqrt(g.n_cells))
+
+    def test_zero_boundary(self, rng):
+        g = Grid(nz=5, ny=5, nx=5, periodic=(False, True, False))
+        s = FieldState(g).fill_random(rng)
+        s.zero_boundary()
+        assert not s["Exy"][0].any() and not s["Exy"][-1].any()
+        assert not s["Exy"][:, :, 0].any() and not s["Exy"][:, :, -1].any()
+        # Periodic y boundary is left alone.
+        assert s["Exy"][2, 0, 2] != 0

@@ -1,0 +1,207 @@
+"""Tests for the machine spec, traffic measurements, the execution
+simulator and the calibration -- including the paper-shape contracts of
+DESIGN.md section 4."""
+
+import pytest
+
+from repro.core import (
+    ThreadGroupConfig,
+    TilingPlan,
+    diamond_code_balance,
+    naive_code_balance,
+    spatial_code_balance,
+)
+from repro.core.autotuner import tune_spatial, tune_tiled
+from repro.machine import (
+    HASWELL_EP,
+    MachineSpec,
+    measure_sweep_code_balance,
+    measure_tiled_code_balance,
+    simulate_sweep,
+    simulate_tiled,
+    tg_efficiency,
+    validate_calibration,
+)
+
+
+class TestMachineSpec:
+    def test_haswell_parameters(self):
+        assert HASWELL_EP.cores == 18
+        assert HASWELL_EP.l3_bytes == 45 * 2**20
+        assert HASWELL_EP.bandwidth_gbs == 50.0
+        assert HASWELL_EP.usable_l3_bytes == pytest.approx(22.5 * 2**20)
+
+    def test_peak_flops(self):
+        # 18 cores * 2.3 GHz * 16 flops/cy = 662 Gflop/s.
+        assert HASWELL_EP.peak_gflops == pytest.approx(662.4)
+
+    def test_with_bandwidth(self):
+        starved = HASWELL_EP.with_bandwidth(25.0)
+        assert starved.bandwidth_gbs == 25.0
+        assert starved.core_bandwidth_gbs <= 25.0
+        assert starved.machine_balance() < HASWELL_EP.machine_balance()
+
+    def test_with_cores(self):
+        assert HASWELL_EP.with_cores(6).cores == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("x", cores=0, clock_ghz=1, l3_bytes=1, bandwidth_gbs=1)
+        with pytest.raises(ValueError):
+            MachineSpec("x", cores=1, clock_ghz=1, l3_bytes=1, bandwidth_gbs=1,
+                        usable_cache_fraction=2.0)
+        with pytest.raises(ValueError):
+            MachineSpec("x", cores=1, clock_ghz=1, l3_bytes=1, bandwidth_gbs=1,
+                        tiled_overhead=0.5)
+
+
+class TestTrafficMeasurements:
+    """The cache-sim counterparts of the paper's Section III numbers."""
+
+    def test_naive_at_512_near_1344(self):
+        r = measure_sweep_code_balance(HASWELL_EP, nx=512, ny=512, block_y=None)
+        assert r.bytes_per_lup == pytest.approx(naive_code_balance(), rel=0.03)
+
+    def test_spatial_blocking_exactly_1216(self):
+        r = measure_sweep_code_balance(HASWELL_EP, nx=384, ny=384, block_y=16)
+        assert r.bytes_per_lup == pytest.approx(spatial_code_balance(), rel=0.001)
+
+    def test_spatial_saving_is_the_z_layer_condition(self):
+        naive = measure_sweep_code_balance(HASWELL_EP, nx=512, ny=512, block_y=None)
+        spatial = measure_sweep_code_balance(HASWELL_EP, nx=512, ny=512, block_y=16)
+        # 1344 - 1216 = 128 B/LUP saved (Section III-B).
+        assert naive.bytes_per_lup - spatial.bytes_per_lup == pytest.approx(128, abs=16)
+
+    @pytest.mark.parametrize("dw", [4, 8])
+    def test_tiled_tracks_eq12_when_fitting(self, dw):
+        r = measure_tiled_code_balance(HASWELL_EP, nx=384, dw=dw, bz=1, n_streams=1)
+        model = diamond_code_balance(dw)
+        assert r.bytes_per_lup < 1.05 * model
+        assert r.bytes_per_lup > 0.5 * model
+
+    def test_tiled_diverges_when_tile_exceeds_cache(self):
+        """Fig. 5: measured balance blows past Eq. 12 once C_s exceeds the
+        usable L3 (Dw=16, Bz=1 at nx=384 needs ~34 MiB > 22.5 MiB)."""
+        r = measure_tiled_code_balance(HASWELL_EP, nx=384, dw=16, bz=1, n_streams=1)
+        assert r.bytes_per_lup > 3 * diamond_code_balance(16)
+
+    def test_larger_bz_needs_more_cache(self):
+        """Fig. 5a-c: larger wavefront widths reach divergence earlier."""
+        r1 = measure_tiled_code_balance(HASWELL_EP, nx=480, dw=8, bz=1, n_streams=1)
+        r9 = measure_tiled_code_balance(HASWELL_EP, nx=480, dw=8, bz=9, n_streams=1)
+        assert r9.bytes_per_lup > r1.bytes_per_lup
+
+    def test_stream_interference(self):
+        """Concurrent per-thread tiles (1WD) thrash the shared L3 at high
+        thread counts -- the Fig. 6 decline mechanism."""
+        lone = measure_tiled_code_balance(HASWELL_EP, nx=384, dw=4, bz=1, n_streams=1)
+        crowd = measure_tiled_code_balance(HASWELL_EP, nx=384, dw=4, bz=1, n_streams=18)
+        assert crowd.bytes_per_lup > 2 * lone.bytes_per_lup
+
+    def test_measure_validation(self):
+        with pytest.raises(ValueError):
+            measure_tiled_code_balance(HASWELL_EP, nx=64, dw=4, bz=1, n_streams=0)
+        with pytest.raises(ValueError):
+            measure_sweep_code_balance(HASWELL_EP, nx=64, ny=64, block_y=None, threads=0)
+
+
+class TestExecutionSimulator:
+    def test_sweep_single_thread_unsaturated(self):
+        r = simulate_sweep(HASWELL_EP, 1, spatial_code_balance(), lups=1e8)
+        assert 4 < r.mlups < 12
+        assert r.bandwidth_gbs < HASWELL_EP.bandwidth_gbs
+
+    def test_sweep_saturates_at_roofline(self):
+        r = simulate_sweep(HASWELL_EP, 18, spatial_code_balance(), lups=1e8)
+        assert r.mlups == pytest.approx(41.1, abs=0.5)
+        assert r.bandwidth_gbs == pytest.approx(50.0, abs=0.5)
+
+    def test_sweep_scaling_linear_before_knee(self):
+        r2 = simulate_sweep(HASWELL_EP, 2, spatial_code_balance(), lups=1e8)
+        r4 = simulate_sweep(HASWELL_EP, 4, spatial_code_balance(), lups=1e8)
+        assert r4.mlups == pytest.approx(2 * r2.mlups, rel=0.01)
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            simulate_sweep(HASWELL_EP, 0, 1000, lups=1e6)
+        with pytest.raises(ValueError):
+            simulate_sweep(HASWELL_EP, 99, 1000, lups=1e6)
+        with pytest.raises(ValueError):
+            simulate_sweep(HASWELL_EP, 1, -5, lups=1e6)
+
+    def test_tiled_full_chip_beats_spatial_3x(self):
+        """The headline: MWD at 18 cores is >= 3x saturated spatial."""
+        plan = TilingPlan.build(ny=384, nz=384, timesteps=16, dw=8, bz=9)
+        cfg = ThreadGroupConfig(wavefront_threads=3, x_threads=2, component_threads=3)
+        bc = measure_tiled_code_balance(HASWELL_EP, nx=384, dw=8, bz=9, n_streams=1)
+        r = simulate_tiled(HASWELL_EP, plan, nx=384, tg_config=cfg,
+                           code_balance=bc.bytes_per_lup)
+        spatial = simulate_sweep(HASWELL_EP, 18, spatial_code_balance(), lups=1e8)
+        assert r.mlups > 3.0 * spatial.mlups
+        # ...while using less than the full bandwidth (decoupled).
+        assert r.bandwidth_gbs < 0.9 * HASWELL_EP.bandwidth_gbs
+
+    def test_tiled_oversized_group_rejected(self):
+        plan = TilingPlan.build(ny=32, nz=32, timesteps=8, dw=4, bz=1)
+        cfg = ThreadGroupConfig(x_threads=19)
+        with pytest.raises(ValueError):
+            simulate_tiled(HASWELL_EP, plan, nx=32, tg_config=cfg, code_balance=300)
+
+    def test_tg_efficiency_bounds(self):
+        for cfg in (
+            ThreadGroupConfig(),
+            ThreadGroupConfig(x_threads=6),
+            ThreadGroupConfig(wavefront_threads=3, component_threads=3),
+        ):
+            eff = tg_efficiency(cfg, nx=384, nz=384, bz=4)
+            assert 0.5 < eff <= 1.0
+
+    def test_tg_efficiency_penalizes_short_x_chunks(self):
+        wide = tg_efficiency(ThreadGroupConfig(x_threads=2), nx=384, nz=384, bz=1)
+        narrow = tg_efficiency(ThreadGroupConfig(x_threads=18), nx=384, nz=384, bz=1)
+        assert narrow < wide
+
+
+class TestCalibration:
+    def test_spatial_saturation_near_six_cores(self):
+        rep = validate_calibration(HASWELL_EP)
+        assert 5.0 < rep.spatial_saturation_cores < 7.5
+        assert rep.spatial_saturated_mlups == pytest.approx(41.1, abs=0.5)
+
+    def test_headline_speedup_in_3_4x_band(self):
+        rep = validate_calibration(HASWELL_EP)
+        assert 3.0 <= rep.speedup_over_spatial <= 4.2
+
+    def test_single_core_spatial_mlups(self):
+        rep = validate_calibration(HASWELL_EP)
+        assert 5.0 < rep.spatial_single_core_mlups < 9.0
+
+
+class TestAutotuner:
+    """Auto-tuned shapes at a reduced set of points (full sweeps live in
+    the benchmarks)."""
+
+    def test_spatial_tuning_saturates(self):
+        p = tune_spatial(HASWELL_EP, 384, 18)
+        assert p.mlups == pytest.approx(41.1, abs=1.0)
+        assert p.code_balance == pytest.approx(1216, rel=0.02)
+
+    def test_1wd_peaks_then_drops(self):
+        mid = tune_tiled(HASWELL_EP, 384, 10, tg_size=1, variant="1WD")
+        full = tune_tiled(HASWELL_EP, 384, 18, tg_size=1, variant="1WD")
+        assert mid.mlups > full.mlups  # the Fig. 6a decline
+
+    def test_mwd_scales_to_full_chip(self):
+        mwd = tune_tiled(HASWELL_EP, 384, 18)
+        spatial = tune_spatial(HASWELL_EP, 384, 18)
+        assert mwd.mlups > 3.0 * spatial.mlups
+        assert 150 < mwd.code_balance < 450  # Fig. 6c window
+
+    def test_mwd_tuner_prefers_sharing_at_full_chip(self):
+        mwd = tune_tiled(HASWELL_EP, 384, 18)
+        assert mwd.tg_size > 1
+        assert mwd.dw >= 8
+
+    def test_tuned_point_describe(self):
+        p = tune_spatial(HASWELL_EP, 384, 18)
+        assert "spatial" in p.describe()

@@ -1,0 +1,197 @@
+"""Tests for materials, PML profiles and scene rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.fdfd import (
+    A_SI_H,
+    GLASS,
+    MATERIAL_LIBRARY,
+    SILVER,
+    SIO2,
+    VACUUM,
+    Grid,
+    Layer,
+    Material,
+    PMLSpec,
+    Scene,
+    Sphere,
+    pml_profile,
+    rough_texture,
+    sinusoidal_texture,
+)
+
+
+class TestMaterial:
+    def test_vacuum(self):
+        assert VACUUM.eps_real == 1.0
+        assert VACUUM.sigma(2.0) == 0.0
+        assert VACUUM.is_lossless
+        assert not VACUUM.is_negative_eps
+
+    def test_silver_negative_permittivity(self):
+        # The back-iteration trigger of the paper: Re(eps) < 0 for Ag.
+        assert SILVER.eps_real < 0
+        assert SILVER.is_negative_eps
+        assert SILVER.sigma(1.0) > 0
+
+    def test_absorber_lossy(self):
+        assert A_SI_H.eps_real > 0
+        assert A_SI_H.sigma(1.0) > 0
+
+    def test_complex_eps_consistency(self):
+        omega = 2.0
+        m = A_SI_H
+        ce = m.complex_eps(omega)
+        assert ce.real == pytest.approx(m.eps_real)
+        assert ce.imag == pytest.approx(-m.sigma(omega) / omega)
+        # (n - i kappa)^2 == complex eps
+        assert m.complex_index**2 == pytest.approx(ce)
+
+    def test_from_permittivity_roundtrip(self):
+        omega = 1.7
+        for m in (GLASS, A_SI_H, SILVER):
+            m2 = Material.from_permittivity(m.name, m.complex_eps(omega))
+            assert m2.n == pytest.approx(m.n, abs=1e-12)
+            assert m2.kappa == pytest.approx(m.kappa, abs=1e-12)
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", n=1.0, kappa=-0.1)
+
+    def test_omega_must_be_positive(self):
+        with pytest.raises(ValueError):
+            VACUUM.sigma(0.0)
+
+    def test_library_contains_fig1_stack(self):
+        for name in ("Ag", "a-Si:H", "uc-Si:H", "SiO2", "ZnO", "glass"):
+            assert name in MATERIAL_LIBRARY
+
+
+class TestPML:
+    def test_zero_without_spec(self):
+        assert not pml_profile(32, 1.0, None).any()
+
+    def test_profile_shape_and_support(self):
+        spec = PMLSpec(thickness=6)
+        p = pml_profile(40, 1.0, spec)
+        assert p.shape == (40,)
+        # Nonzero only within the absorber layers.
+        assert p[:6].any() and p[-6:].any()
+        assert not p[8:-8].any()
+        assert np.all(p >= 0)
+
+    def test_profile_monotone_toward_boundary(self):
+        p = pml_profile(40, 1.0, PMLSpec(thickness=8))
+        assert np.all(np.diff(p[:8]) <= 0)
+        assert np.all(np.diff(p[-8:]) >= 0)
+
+    def test_one_sided(self):
+        p = pml_profile(40, 1.0, PMLSpec(thickness=6, low=False))
+        assert not p[:10].any()
+        assert p[-3:].all()
+
+    def test_staggered_samples_differ(self):
+        spec = PMLSpec(thickness=6)
+        p0 = pml_profile(40, 1.0, spec, staggered=False)
+        p1 = pml_profile(40, 1.0, spec, staggered=True)
+        assert not np.allclose(p0, p1)
+
+    def test_sigma_max_from_reflection_target(self):
+        # Deeper PML -> smaller peak conductivity for the same target.
+        s_thin = PMLSpec(thickness=4).resolved_sigma_max(1.0)
+        s_thick = PMLSpec(thickness=16).resolved_sigma_max(1.0)
+        assert s_thin > s_thick > 0
+
+    def test_explicit_sigma_max_wins(self):
+        assert PMLSpec(thickness=4, sigma_max=2.5).resolved_sigma_max(1.0) == 2.5
+
+    def test_does_not_fit_rejected(self):
+        with pytest.raises(ValueError):
+            pml_profile(10, 1.0, PMLSpec(thickness=5))
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            PMLSpec(thickness=-1)
+        with pytest.raises(ValueError):
+            PMLSpec(grading_order=0)
+        with pytest.raises(ValueError):
+            PMLSpec(reflection_target=2.0)
+
+
+class TestScene:
+    def test_background_only(self):
+        g = Grid.cube(8)
+        eps, sigma = Scene(background=GLASS).rasterize(g, omega=1.0)
+        assert np.all(eps == GLASS.eps_real)
+        assert np.all(sigma == 0)
+
+    def test_flat_layer_stack(self):
+        g = Grid(nz=12, ny=4, nx=4)
+        scene = Scene()
+        scene.add_layer(A_SI_H, 4, 8)
+        scene.add_layer(SILVER, 8, 12)
+        eps, sigma = scene.rasterize(g, omega=1.0)
+        assert np.all(eps[:4] == 1.0)
+        assert np.all(eps[4:8] == A_SI_H.eps_real)
+        assert np.all(eps[8:] == SILVER.eps_real)
+        assert np.all(sigma[4:8] == A_SI_H.sigma(1.0))
+
+    def test_later_layer_wins(self):
+        g = Grid(nz=8, ny=4, nx=4)
+        scene = Scene().add_layer(GLASS, 0, 8).add_layer(SILVER, 4, 8)
+        eps, _ = scene.rasterize(g, 1.0)
+        assert np.all(eps[:4] == GLASS.eps_real)
+        assert np.all(eps[4:] == SILVER.eps_real)
+
+    def test_sphere_inclusion(self):
+        g = Grid.cube(16)
+        scene = Scene(background=SILVER).add_sphere(SIO2, (8, 8, 8), 4)
+        eps, _ = scene.rasterize(g, 1.0)
+        assert eps[8, 8, 8] == SIO2.eps_real
+        assert eps[0, 0, 0] == SILVER.eps_real
+        # Volume sanity: within 30% of 4/3 pi r^3.
+        count = int(np.sum(eps == SIO2.eps_real))
+        expect = 4 / 3 * np.pi * 4**3
+        assert abs(count - expect) / expect < 0.3
+
+    def test_textured_interface_varies_laterally(self):
+        g = Grid(nz=16, ny=16, nx=16)
+        tex = sinusoidal_texture(amplitude=3.0, period_y=16, period_x=16)
+        scene = Scene().add_layer(A_SI_H, 8, 16, texture=tex)
+        eps, _ = scene.rasterize(g, 1.0)
+        boundary_z = np.argmax(eps == A_SI_H.eps_real, axis=0)
+        assert boundary_z.min() < boundary_z.max()  # rough interface
+
+    def test_rough_texture_deterministic(self):
+        t1 = rough_texture(2.0, correlation=4, seed=9)
+        t2 = rough_texture(2.0, correlation=4, seed=9)
+        y, x = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+        assert np.allclose(t1(y, x), t2(y, x))
+        assert t1(y, x).std() > 0
+
+    def test_supersampling_blends_interfaces(self):
+        g = Grid(nz=8, ny=4, nx=4)
+        # Layer boundary at a half-cell position: supersampled cells at the
+        # boundary take intermediate permittivity.
+        scene = Scene().add_layer(A_SI_H, 3.5, 8)
+        eps1, _ = scene.rasterize(g, 1.0, supersample=1)
+        eps2, _ = scene.rasterize(g, 1.0, supersample=2)
+        assert set(np.unique(eps1)) == {1.0, A_SI_H.eps_real}
+        mid = eps2[3, 0, 0]
+        assert 1.0 < mid < A_SI_H.eps_real
+
+    def test_volume_fractions(self):
+        g = Grid(nz=10, ny=4, nx=4)
+        scene = Scene().add_layer(SILVER, 5, 10)
+        frac = scene.material_volume_fractions(g)
+        assert frac["Ag"] == pytest.approx(0.5)
+        assert frac["vacuum"] == pytest.approx(0.5)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Layer(GLASS, 5, 5)
+        with pytest.raises(ValueError):
+            Sphere(GLASS, (0, 0, 0), 0)
+        with pytest.raises(ValueError):
+            Scene().rasterize(Grid.cube(4), 1.0, supersample=0)

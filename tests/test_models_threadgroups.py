@@ -1,0 +1,183 @@
+"""Tests for the Section III analytic models and thread-group configs.
+
+The model identities are the paper's own printed numbers, so these are
+exact reproduction checks (DESIGN.md correctness contract 4)."""
+
+import pytest
+
+from repro.core.models import (
+    arithmetic_intensity,
+    bandwidth_limited_mlups,
+    cache_block_size,
+    diamond_code_balance,
+    diamond_lups,
+    max_diamond_width,
+    naive_code_balance,
+    spatial_code_balance,
+    usable_cache_bytes,
+    wavefront_tile_width,
+)
+from repro.core.threadgroups import (
+    ThreadGroupConfig,
+    divisors,
+    enumerate_tg_configs,
+)
+
+
+class TestPaperNumbers:
+    """Exact values stated in Section III of the paper."""
+
+    def test_eq8_naive_1344(self):
+        assert naive_code_balance() == 1344
+
+    def test_eq9_spatial_1216(self):
+        assert spatial_code_balance() == 1216
+
+    def test_naive_intensity_018(self):
+        assert arithmetic_intensity(naive_code_balance()) == pytest.approx(0.18, abs=0.005)
+
+    def test_spatial_intensity_020(self):
+        assert arithmetic_intensity(spatial_code_balance()) == pytest.approx(0.20, abs=0.005)
+
+    def test_eq10_41_mlups(self):
+        # 50 GB/s / 1216 B/LUP = 41 MLUP/s.
+        assert bandwidth_limited_mlups(50.0, spatial_code_balance()) == pytest.approx(41.1, abs=0.1)
+
+    def test_eq11_worked_example(self):
+        # Dw=4, Bz=4 -> Ww=7 and C_s = 14912 * N_x (Section III-C).
+        assert wavefront_tile_width(4, 4) == 7
+        assert cache_block_size(4, 4, nx=1) == 14912
+        assert cache_block_size(4, 4, nx=480) == 14912 * 480
+
+    def test_fig5_narrative_bz6_dw4_30mib(self):
+        """Section III-C: wavefront-only parallelism with Bz=6 means
+        18/6 = 3 concurrent thread groups; three Dw=4 tiles at 480^3 need
+        ~30 MiB, exceeding the usable (half) L3."""
+        total = 3 * cache_block_size(4, 6, nx=480)
+        assert total / 2**20 == pytest.approx(30.0, abs=3.0)
+        assert total > usable_cache_bytes(45 * 2**20)
+
+    def test_fig5_narrative_bz1_dw8_20mib(self):
+        """Section III-C: Bz=1 with nine threads per block -> 2 groups;
+        two Dw=8 tiles use ~20 MiB, inside the usable budget."""
+        total = 2 * cache_block_size(8, 1, nx=480)
+        assert total / 2**20 == pytest.approx(21.0, abs=2.5)
+        assert total <= usable_cache_bytes(45 * 2**20)
+
+    def test_eq12_decreases_with_dw(self):
+        values = [diamond_code_balance(dw) for dw in (4, 8, 12, 16)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_eq12_values_in_mwd_regime(self):
+        """Eq. 12 at the auto-tuned MWD widths (8-16) predicts the order
+        of magnitude of Fig. 6c's 200-400 B/LUP measured window (the
+        measured values sit above the model because of clipped tiles and
+        imperfect reuse; the cache-simulation benchmarks cover that)."""
+        for dw in (8, 12, 16):
+            assert 100 < diamond_code_balance(dw) < 450
+        # And a ~6x reduction vs. spatial blocking at Dw=8 - 12
+        # (Section IV-C: "6x lower code balance").
+        assert spatial_code_balance() / diamond_code_balance(10) == pytest.approx(6.0, abs=1.5)
+
+    def test_eq12_explicit_value(self):
+        # Dw=4: 16 * (6*7 + 160 + 12) / 8 = 428 B/LUP.
+        assert diamond_code_balance(4) == pytest.approx(16 * (42 + 172) / 8.0)
+
+
+class TestModelHelpers:
+    def test_max_diamond_width_monotone_in_budget(self):
+        small = max_diamond_width(bz=1, nx=480, cache_budget=5 * 2**20)
+        large = max_diamond_width(bz=1, nx=480, cache_budget=22.5 * 2**20)
+        assert small is not None and large is not None
+        assert small <= large
+
+    def test_max_diamond_width_none_when_too_small(self):
+        assert max_diamond_width(bz=1, nx=480, cache_budget=1024) is None
+
+    def test_max_diamond_width_shrinks_with_bz(self):
+        budget = 22.5 * 2**20
+        dw1 = max_diamond_width(bz=1, nx=480, cache_budget=budget)
+        dw9 = max_diamond_width(bz=9, nx=480, cache_budget=budget)
+        assert dw1 >= dw9
+
+    def test_diamond_lups(self):
+        assert diamond_lups(4) == 8
+        assert diamond_lups(16) == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diamond_code_balance(1)
+        with pytest.raises(ValueError):
+            cache_block_size(3, 1, 8)
+        with pytest.raises(ValueError):
+            cache_block_size(4, 0, 8)
+        with pytest.raises(ValueError):
+            bandwidth_limited_mlups(-1, 100)
+        with pytest.raises(ValueError):
+            arithmetic_intensity(0)
+        with pytest.raises(ValueError):
+            usable_cache_bytes(100, fraction=0.0)
+        with pytest.raises(ValueError):
+            wavefront_tile_width(4, 0)
+
+
+class TestThreadGroups:
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    def test_config_size(self):
+        cfg = ThreadGroupConfig(wavefront_threads=2, x_threads=3, component_threads=3)
+        assert cfg.size == 18
+        assert cfg.label() == "wf2.x3.c3"
+
+    def test_invalid_component_ways(self):
+        with pytest.raises(ValueError):
+            ThreadGroupConfig(component_threads=4)
+        with pytest.raises(ValueError):
+            ThreadGroupConfig(wavefront_threads=0)
+
+    def test_feasibility_wavefront_bound(self):
+        cfg = ThreadGroupConfig(wavefront_threads=4)
+        assert cfg.is_feasible(bz=4, nx=384)
+        assert not cfg.is_feasible(bz=3, nx=384)
+
+    def test_feasibility_x_chunk_bound(self):
+        cfg = ThreadGroupConfig(x_threads=8)
+        assert cfg.is_feasible(bz=1, nx=384)
+        assert not cfg.is_feasible(bz=1, nx=64)
+
+    def test_imbalance(self):
+        cfg = ThreadGroupConfig(x_threads=4)
+        assert cfg.imbalance(nx=384) == pytest.approx(1.0)
+        cfg = ThreadGroupConfig(x_threads=5)
+        # ceil(384/5)=77 vs 76.8 average.
+        assert cfg.imbalance(nx=384) == pytest.approx(77 / 76.8)
+
+    def test_enumerate_covers_all_factorizations(self):
+        cfgs = list(enumerate_tg_configs(6, bz=8, nx=384, min_x_chunk=16))
+        sizes = {c.size for c in cfgs}
+        assert sizes == {6}
+        labels = {c.label() for c in cfgs}
+        # 6 = nc * nwf * nx over nc in {1,2,3,6}: several splits.
+        assert "wf1.x1.c6" in labels
+        assert "wf6.x1.c1" in labels
+        assert "wf1.x6.c1" in labels
+        assert "wf2.x1.c3" in labels
+
+    def test_enumerate_respects_feasibility(self):
+        cfgs = list(enumerate_tg_configs(18, bz=1, nx=384))
+        for c in cfgs:
+            assert c.wavefront_threads == 1  # bz=1 forbids wavefront split
+        # 18 = 1 * x * c with c in {1,2,3,6}: x in {18,9,6,3}; all x chunks
+        # of 384 are >= 16 cells, so 4 configs.
+        assert len(cfgs) == 4
+
+    def test_enumerate_tg1(self):
+        cfgs = list(enumerate_tg_configs(1, bz=4, nx=384))
+        assert len(cfgs) == 1 and cfgs[0].size == 1
+
+    def test_enumerate_invalid(self):
+        with pytest.raises(ValueError):
+            list(enumerate_tg_configs(0, bz=1, nx=8))

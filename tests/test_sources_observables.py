@@ -1,0 +1,160 @@
+"""Tests for plane-wave sources and field observables."""
+
+import numpy as np
+import pytest
+
+from repro.fdfd import (
+    FieldState,
+    Grid,
+    PlaneWaveSource,
+    absorbed_power,
+    absorption_density,
+    field_energy,
+    gaussian_beam_profile,
+    poynting_flux_z,
+    poynting_z,
+    relative_change,
+)
+
+
+class TestPlaneWaveSource:
+    def test_x_polarized_pairs(self):
+        g = Grid(nz=16, ny=4, nx=4)
+        src = PlaneWaveSource(z_plane=3, amplitude=2.0).build(g)
+        assert set(src) == {"SrcEx", "SrcHy"}
+        assert np.all(src["SrcEx"][3] == 2.0)
+        assert np.all(src["SrcHy"][3] == 2.0)
+        assert not src["SrcEx"][4].any()
+
+    def test_y_polarized_pairs(self):
+        g = Grid(nz=16, ny=4, nx=4)
+        src = PlaneWaveSource(z_plane=3, polarization="y").build(g)
+        assert set(src) == {"SrcEy", "SrcHx"}
+        assert np.all(src["SrcHx"][3] == -1.0)
+
+    def test_direction_flips_h(self):
+        g = Grid(nz=16, ny=4, nx=4)
+        up = PlaneWaveSource(z_plane=3, direction=-1).build(g)
+        down = PlaneWaveSource(z_plane=3, direction=+1).build(g)
+        assert np.allclose(up["SrcHy"], -down["SrcHy"])
+        assert np.allclose(up["SrcEx"], down["SrcEx"])
+
+    def test_impedance_scales_h(self):
+        g = Grid(nz=16, ny=4, nx=4)
+        src = PlaneWaveSource(z_plane=3, impedance=2.0).build(g)
+        assert np.all(src["SrcHy"][3] == 0.5)
+
+    def test_profile(self):
+        g = Grid(nz=16, ny=8, nx=8)
+        prof = gaussian_beam_profile(g, waist_cells=2.0)
+        src = PlaneWaveSource(z_plane=3, profile=prof).build(g)
+        centre = src["SrcEx"][3, 3, 3]
+        corner = src["SrcEx"][3, 0, 0]
+        assert abs(centre) > abs(corner)
+
+    def test_thick_source_envelope_and_phase(self):
+        g = Grid(nz=32, ny=4, nx=4)
+        src = PlaneWaveSource(z_plane=16, z_width=3.0, wavenumber=0.5).build(g)
+        e = src["SrcEx"]
+        # Peaked at the source plane, decaying away from it.
+        assert abs(e[16, 0, 0]) > abs(e[19, 0, 0]) > abs(e[22, 0, 0])
+        assert abs(e[16, 0, 0]) == pytest.approx(1.0)
+        # Travelling-wave phasing: e^{-i k dz} between adjacent planes.
+        ratio = e[17, 0, 0] / e[16, 0, 0]
+        assert np.angle(ratio) == pytest.approx(-0.5, abs=1e-9)
+
+    def test_thick_source_direction_reverses_phase(self):
+        g = Grid(nz=32, ny=4, nx=4)
+        up = PlaneWaveSource(z_plane=16, z_width=3.0, wavenumber=0.5, direction=-1).build(g)
+        ratio = up["SrcEx"][17, 0, 0] / up["SrcEx"][16, 0, 0]
+        assert np.angle(ratio) == pytest.approx(+0.5, abs=1e-9)
+
+    def test_thick_source_needs_wavenumber(self):
+        g = Grid(nz=16, ny=4, nx=4)
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=8, z_width=2.0).build(g)
+
+    def test_negative_z_width_rejected(self):
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=8, z_width=-1.0)
+
+    def test_validation(self):
+        g = Grid(nz=16, ny=4, nx=4)
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=99).build(g)
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=3, polarization="z")
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=3, direction=0)
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=3, impedance=-1.0)
+        with pytest.raises(ValueError):
+            PlaneWaveSource(z_plane=3, profile=np.ones((2, 2))).build(g)
+        with pytest.raises(ValueError):
+            gaussian_beam_profile(g, waist_cells=0.0)
+
+
+class TestObservables:
+    def test_field_energy_positive_definite(self, rng):
+        s = FieldState(Grid.cube(6)).fill_random(rng)
+        assert field_energy(s) > 0
+        assert field_energy(FieldState(Grid.cube(6))) == 0
+
+    def test_energy_scales_quadratically(self, rng):
+        s = FieldState(Grid.cube(6)).fill_random(rng)
+        e1 = field_energy(s)
+        for name in s:
+            s[name] = s[name] * 2.0
+        assert field_energy(s) == pytest.approx(4 * e1)
+
+    def test_poynting_plane_wave_sign(self):
+        """A +z travelling wave (Ex, Hy) in phase carries positive S_z."""
+        g = Grid(nz=8, ny=4, nx=4)
+        s = FieldState(g)
+        s["Exy"][...] = 1.0
+        s["Hyz"][...] = 1.0
+        assert np.all(poynting_z(s) > 0)
+        assert poynting_flux_z(s, 4) == pytest.approx(0.5 * 16)
+
+    def test_poynting_reversed_wave(self):
+        g = Grid(nz=8, ny=4, nx=4)
+        s = FieldState(g)
+        s["Exy"][...] = 1.0
+        s["Hyz"][...] = -1.0
+        assert np.all(poynting_z(s) < 0)
+
+    def test_poynting_flux_bounds(self):
+        s = FieldState(Grid.cube(6))
+        with pytest.raises(IndexError):
+            poynting_flux_z(s, 99)
+
+    def test_absorption_zero_without_conductivity(self, rng):
+        s = FieldState(Grid.cube(6)).fill_random(rng)
+        assert absorbed_power(s, sigma=0.0) == 0.0
+
+    def test_absorption_masked(self, rng):
+        g = Grid.cube(6)
+        s = FieldState(g).fill_random(rng)
+        sigma = np.ones(g.shape)
+        mask = np.zeros(g.shape)
+        mask[:3] = 1.0
+        total = absorbed_power(s, sigma)
+        half = absorbed_power(s, sigma, mask=mask)
+        assert 0 < half < total
+        dens = absorption_density(s, sigma)
+        assert dens.shape == g.shape and np.all(dens >= 0)
+
+    def test_relative_change(self, rng):
+        s = FieldState(Grid.cube(6)).fill_random(rng)
+        same = s.copy()
+        assert relative_change(s, same) == 0.0
+        other = s.copy()
+        for name in other:
+            other[name] = other[name] * 1.01
+        rc = relative_change(s, other)
+        assert 0 < rc < 0.02
+
+    def test_relative_change_zero_fields(self):
+        a = FieldState(Grid.cube(4))
+        b = FieldState(Grid.cube(4))
+        assert relative_change(a, b) == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the component specifications (the paper's Section III counts)."""
+
+import pytest
+
+from repro.fdfd.specs import (
+    ALL_COMPONENTS,
+    AXIS_X,
+    AXIS_Y,
+    AXIS_Z,
+    BYTES_PER_CELL,
+    COEFF_ARRAY_COUNT,
+    E_COMPONENTS,
+    FIELD_ARRAY_COUNT,
+    FLOPS_PER_LUP,
+    H_COMPONENTS,
+    SOURCE_COMPONENTS,
+    SPECS,
+    TOTAL_ARRAY_COUNT,
+    component_groups,
+    flops_for_component,
+)
+
+
+class TestArrayCounts:
+    """The storage accounting of Section III of the paper."""
+
+    def test_twelve_field_components(self):
+        assert FIELD_ARRAY_COUNT == 12
+        assert len(E_COMPONENTS) == 6
+        assert len(H_COMPONENTS) == 6
+
+    def test_twenty_eight_coefficient_arrays(self):
+        # 4 * 3 + 8 * 2 = 28 (paper, Section III).
+        assert COEFF_ARRAY_COUNT == 28
+
+    def test_forty_arrays_640_bytes_per_cell(self):
+        assert TOTAL_ARRAY_COUNT == 40
+        assert BYTES_PER_CELL == 640
+
+    def test_four_source_components(self):
+        assert len(SOURCE_COMPONENTS) == 4
+        # All four difference along the outer (z) dimension -- they are
+        # the paper's Listing-1-type kernels.
+        for name in SOURCE_COMPONENTS:
+            assert SPECS[name].deriv_axis == AXIS_Z
+
+    def test_flop_counts_match_listings(self):
+        # Listing 1 (with source): 22 flops; Listing 2: 20 flops.
+        for name in ALL_COMPONENTS:
+            expected = 22 if SPECS[name].source else 20
+            assert flops_for_component(name) == expected
+
+    def test_total_flops_per_lup(self):
+        # 4 * 22 + 8 * 20 = 248 DP flops/LUP (Section III-A).
+        assert FLOPS_PER_LUP == 248
+
+
+class TestDependencyStructure:
+    """Fig. 3: H depends in the positive direction, E in the negative."""
+
+    def test_h_components_shift_positive(self):
+        for name in H_COMPONENTS:
+            assert SPECS[name].shift == +1
+
+    def test_e_components_shift_negative(self):
+        for name in E_COMPONENTS:
+            assert SPECS[name].shift == -1
+
+    def test_reads_cross_fields(self):
+        # E components read only H split parts and vice versa.
+        for name, spec in SPECS.items():
+            other = "H" if spec.field == "E" else "E"
+            for r in spec.reads:
+                assert r.startswith(other)
+
+    def test_reads_are_split_pair(self):
+        # Each update reads both split parts of one driving component.
+        for spec in SPECS.values():
+            a, b = spec.reads
+            assert a[:2] == b[:2]
+            assert {a[2], b[2]} == set("zyx") - {a[1]}
+
+    def test_component_and_deriv_axes_differ(self):
+        for spec in SPECS.values():
+            assert spec.comp_axis != spec.deriv_axis
+
+    def test_loss_axis_is_deriv_axis(self):
+        for spec in SPECS.values():
+            assert spec.loss_axis == spec.deriv_axis
+
+    def test_curl_pairs_have_opposite_signs(self):
+        # The two split parts of any vector component come from the two
+        # curl terms, which carry opposite signs.
+        for comp in ("Ex", "Ey", "Ez", "Hx", "Hy", "Hz"):
+            parts = [s for n, s in SPECS.items() if n.startswith(comp)]
+            assert len(parts) == 2
+            assert parts[0].sign * parts[1].sign == -1
+
+    def test_each_axis_appears_four_times_as_deriv(self):
+        for axis in (AXIS_Z, AXIS_Y, AXIS_X):
+            count = sum(1 for s in SPECS.values() if s.deriv_axis == axis)
+            assert count == 4
+
+    def test_coeff_names_unique(self):
+        names = [n for s in SPECS.values() for n in s.coeff_names]
+        assert len(names) == len(set(names))
+
+
+class TestComponentGroups:
+    """The 1/2/3/6-way component parallelism of Section II-B."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_partition_is_balanced_and_complete(self, n):
+        groups = component_groups(n)
+        assert len(groups) == n
+        sizes = {len(g) for g in groups}
+        assert sizes == {6 // n}
+        flat = [i for g in groups for i in g]
+        assert sorted(flat) == list(range(6))
+
+    @pytest.mark.parametrize("n", [0, 4, 5, 7, 12])
+    def test_invalid_parallelism_rejected(self, n):
+        with pytest.raises(ValueError):
+            component_groups(n)

@@ -1,0 +1,64 @@
+"""Tests for the FED (fixed-execution-to-data) work assignment."""
+
+import pytest
+
+from repro.core.threadgroups import ThreadGroupConfig, WorkItem, work_assignment
+
+
+class TestWorkAssignment:
+    def test_thread_count_matches_config_size(self):
+        cfg = ThreadGroupConfig(wavefront_threads=2, x_threads=3, component_threads=3)
+        items = work_assignment(cfg, nx=96)
+        assert len(items) == cfg.size == 18
+        assert {w.thread for w in items} == set(range(18))
+
+    def test_x_chunks_partition_row(self):
+        cfg = ThreadGroupConfig(x_threads=4)
+        items = work_assignment(cfg, nx=10)
+        spans = sorted({(w.x_lo, w.x_hi) for w in items})
+        assert spans[0][0] == 0 and spans[-1][1] == 10
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_component_groups_partition_six_updates(self):
+        cfg = ThreadGroupConfig(component_threads=3)
+        items = work_assignment(cfg, nx=8)
+        covered = sorted(i for w in items for i in w.components)
+        assert covered == [0, 1, 2, 3, 4, 5]
+
+    def test_full_coverage_per_slot(self):
+        """Every (x cell, component) pair is owned exactly once per
+        wavefront slot."""
+        cfg = ThreadGroupConfig(wavefront_threads=2, x_threads=2, component_threads=3)
+        items = work_assignment(cfg, nx=7)
+        for slot in range(2):
+            seen = set()
+            for w in items:
+                if w.wavefront_slot != slot:
+                    continue
+                for x in range(w.x_lo, w.x_hi):
+                    for c in w.components:
+                        key = (x, c)
+                        assert key not in seen
+                        seen.add(key)
+            assert len(seen) == 7 * 6
+
+    def test_fed_binding_is_deterministic(self):
+        """Re-deriving the assignment never reshuffles threads: the FED
+        property that keeps data in private caches."""
+        cfg = ThreadGroupConfig(wavefront_threads=3, x_threads=2, component_threads=1)
+        a = work_assignment(cfg, nx=50)
+        b = work_assignment(cfg, nx=50)
+        assert a == b
+
+    def test_serial_config(self):
+        items = work_assignment(ThreadGroupConfig(), nx=12)
+        assert len(items) == 1
+        w = items[0]
+        assert (w.x_lo, w.x_hi) == (0, 12)
+        assert w.components == (0, 1, 2, 3, 4, 5)
+        assert w.x_cells == 12
+
+    def test_too_few_x_cells_rejected(self):
+        with pytest.raises(ValueError):
+            work_assignment(ThreadGroupConfig(x_threads=8), nx=4)
