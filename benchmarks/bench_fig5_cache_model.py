@@ -8,7 +8,7 @@ import os
 from repro.experiments import fig5_cache_model, format_table, save_json
 
 
-def test_fig5_cache_model(run_once, output_dir):
+def test_fig5_cache_model(run_once, output_dir, substrate_telemetry):
     rows = run_once(fig5_cache_model)
     print()
     print(format_table(rows, title="Fig. 5: cache model vs measured code balance (1WD, 1 thread, 480^3)"))

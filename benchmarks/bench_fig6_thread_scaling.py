@@ -9,7 +9,7 @@ from repro.experiments import fig6_thread_scaling, format_table, save_json
 from repro.machine import HASWELL_EP
 
 
-def test_fig6_thread_scaling(run_once, output_dir):
+def test_fig6_thread_scaling(run_once, output_dir, substrate_telemetry):
     rows = run_once(fig6_thread_scaling)
     print()
     print(format_table(rows, title="Fig. 6: thread scaling at 384^3"))

@@ -9,7 +9,7 @@ from repro.experiments import fig7_grid_scaling, format_table, save_json
 from repro.machine import HASWELL_EP
 
 
-def test_fig7_grid_scaling(run_once, output_dir):
+def test_fig7_grid_scaling(run_once, output_dir, substrate_telemetry):
     rows = run_once(fig7_grid_scaling)
     print()
     print(format_table(rows, title="Fig. 7: grid-size scaling on the full socket"))

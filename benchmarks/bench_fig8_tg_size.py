@@ -9,7 +9,7 @@ from repro.experiments import fig8_tg_size, format_table, save_json
 from repro.machine import HASWELL_EP
 
 
-def test_fig8_tg_size(run_once, output_dir):
+def test_fig8_tg_size(run_once, output_dir, substrate_telemetry):
     rows = run_once(fig8_tg_size)
     print()
     print(format_table(rows, title="Fig. 8: thread-group size sweep on the full socket"))

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands cover the library's workflows::
+Five subcommands cover the library's workflows::
 
     repro solve    --preset absorber --grid 48 --wavelength 12 --tol 1e-5
     repro tune     --grid 384 --threads 18 --variant mwd
     repro figures  --which fig6 --out results/
     repro plan     --ny 64 --nz 64 --steps 16 --dw 8 --bz 4
+    repro bench    tune --engine reference --top 20
 
 ``repro`` is installed as a console script; :func:`main` accepts an
 ``argv`` list so the tests can drive it in-process.
@@ -65,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--steps", type=int, required=True)
     pl.add_argument("--dw", type=int, required=True)
     pl.add_argument("--bz", type=int, default=1)
+
+    b = sub.add_parser(
+        "bench", help="profile a named benchmark (cProfile, top cumulative hotspots)"
+    )
+    b.add_argument("name", choices=("tune", "measure", "sweep-measure", "plan", "kernels"),
+                   help="which benchmark to profile")
+    b.add_argument("--grid", type=int, default=384)
+    b.add_argument("--threads", type=int, default=18)
+    b.add_argument("--engine", choices=("reference", "batch", "native", "auto"),
+                   default=None, help="replay engine (default: process setting)")
+    b.add_argument("--top", type=int, default=20,
+                   help="hotspot lines to print (default 20)")
     return p
 
 
@@ -203,6 +216,96 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _bench_cases(args) -> dict:
+    """Named benchmark bodies for ``repro bench`` (each runs cold)."""
+    from .core.autotuner import tune_tiled
+    from .core.plan import TilingPlan
+    from .machine import (
+        HASWELL_EP,
+        measure_sweep_code_balance,
+        measure_tiled_code_balance,
+    )
+
+    def bench_tune():
+        return tune_tiled(HASWELL_EP, args.grid, args.threads)
+
+    def bench_measure():
+        return measure_tiled_code_balance(
+            HASWELL_EP, nx=args.grid, dw=8, bz=4, n_streams=max(args.threads // 2, 1)
+        )
+
+    def bench_sweep_measure():
+        return measure_sweep_code_balance(
+            HASWELL_EP, nx=args.grid, ny=args.grid, block_y=16, threads=args.threads
+        )
+
+    def bench_plan():
+        return TilingPlan.build(
+            ny=args.grid, nz=args.grid, timesteps=32, dw=16, bz=4
+        ).n_tiles
+
+    def bench_kernels():
+        import numpy as np
+
+        from .fdfd import FieldState, Grid, naive_sweep, random_coefficients
+
+        n = min(args.grid, 48)
+        grid = Grid.cube(n)
+        coeffs = random_coefficients(grid, seed=1)
+        fields = FieldState(grid).fill_random(np.random.default_rng(2))
+        return naive_sweep(fields, coeffs, 2)
+
+    return {
+        "tune": bench_tune,
+        "measure": bench_measure,
+        "sweep-measure": bench_sweep_measure,
+        "plan": bench_plan,
+        "kernels": bench_kernels,
+    }
+
+
+def _clear_substrate_caches() -> None:
+    """Cold-start every memoization layer so the profile reflects real work."""
+    from .core import autotuner, diamond, plan
+    from .machine import measure, streams
+
+    autotuner.tune_tiled.cache_clear()
+    autotuner.tune_spatial.cache_clear()
+    measure._measure_tiled_cached.cache_clear()
+    measure._measure_sweep_cached.cache_clear()
+    diamond._enumerate_tiles_cached.cache_clear()
+    plan._tile_dag.cache_clear()
+    streams._RAW_SEGMENT_CACHE.clear()
+
+
+def _cmd_bench(args) -> int:
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    from .machine import SUBSTRATE_COUNTERS
+
+    if args.engine:
+        os.environ["REPRO_STREAM_ENGINE"] = args.engine
+    _clear_substrate_caches()
+    SUBSTRATE_COUNTERS.reset()
+    fn = _bench_cases(args)[args.name]
+
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    print(f"bench {args.name}: result = {result!r}")
+
+    buf = io.StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(buf.getvalue())
+    snap = SUBSTRATE_COUNTERS.snapshot()
+    if snap["jobs_replayed"]:
+        print(f"substrate counters: {snap}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -210,6 +313,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tune": _cmd_tune,
         "figures": _cmd_figures,
         "plan": _cmd_plan,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -21,13 +21,35 @@ concurrent footprint ``n_groups * C_s(D_w, B_z)`` stays within a slack
 factor of the usable L3 are evaluated (Eq. 11); the slack lets the
 measured cache behaviour decide borderline cases.  Scoring runs the
 measured code balance through the execution simulator.
+
+Parallel evaluation and result persistence
+------------------------------------------
+Candidate points are *enumerated* first (in the canonical nested-loop
+order) and *scored* as independent pure function calls, so they can fan
+out across a ``multiprocessing`` pool: set ``REPRO_TUNE_WORKERS=<n>`` to
+score with ``n`` forked workers.  Results are merged back in enumeration
+order with a strict ``>`` comparison, which makes the winning
+configuration identical to the serial search bit for bit regardless of
+worker count or completion order.
+
+Tuning a point is deterministic in its inputs, so results can also be
+reused across processes: set ``REPRO_TUNE_CACHE=<dir>`` to keep a JSON
+result file per tuned point, keyed by a hash of the full machine spec and
+every search argument plus a format version.  Delete the directory (or
+bump ``TUNE_CACHE_VERSION``) to invalidate; floats round-trip exactly
+through the JSON files, so cached and freshly computed points compare
+equal.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import os
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..machine.measure import measure_sweep_code_balance, measure_tiled_code_balance
 from ..machine.simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
@@ -37,6 +59,9 @@ from .plan import TilingPlan
 from .threadgroups import ThreadGroupConfig, divisors, enumerate_tg_configs
 
 __all__ = ["TunedPoint", "tune_spatial", "tune_tiled", "simulate_grid_lups"]
+
+#: Bump to invalidate every persisted tuning result (format or model change).
+TUNE_CACHE_VERSION = 1
 
 #: Wavefront widths explored by the tuner (the paper's Fig. 5 uses 1/6/9).
 BZ_CANDIDATES: Tuple[int, ...] = (1, 2, 4, 6, 9)
@@ -89,28 +114,146 @@ def grid_lups(n: int, timesteps: int = 100) -> float:
     return float(n) ** 3 * timesteps
 
 
+# -- parallel candidate scoring ----------------------------------------------
+
+
+def _tune_workers() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_TUNE_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def _pmap(fn: Callable, candidates: Sequence) -> List:
+    """Score candidates, fanning out over a fork pool when configured.
+
+    ``Pool.map`` returns results in submission order, and the callers
+    merge with a strict ``>`` in that order, so the selected winner is
+    identical to the serial search no matter how many workers run.
+    """
+    workers = _tune_workers()
+    if workers <= 1 or len(candidates) < 4:
+        return [fn(c) for c in candidates]
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    with ctx.Pool(min(workers, len(candidates))) as pool:
+        return pool.map(fn, candidates)
+
+
+# -- persistent result cache --------------------------------------------------
+
+
+def _tg_to_json(tg: ThreadGroupConfig | None):
+    return None if tg is None else dataclasses.asdict(tg)
+
+
+def _point_to_json(point: TunedPoint | None):
+    if point is None:
+        return None
+    return {
+        "variant": point.variant,
+        "threads": point.threads,
+        "result": dataclasses.asdict(point.result),
+        "code_balance": point.code_balance,
+        "dw": point.dw,
+        "bz": point.bz,
+        "tg": _tg_to_json(point.tg),
+        "block_y": point.block_y,
+    }
+
+
+def _point_from_json(d) -> TunedPoint | None:
+    if d is None:
+        return None
+    return TunedPoint(
+        variant=d["variant"],
+        threads=d["threads"],
+        result=SimResult(**d["result"]),
+        code_balance=d["code_balance"],
+        dw=d["dw"],
+        bz=d["bz"],
+        tg=None if d["tg"] is None else ThreadGroupConfig(**d["tg"]),
+        block_y=d["block_y"],
+    )
+
+
+def _cache_path(kind: str, spec: MachineSpec, args: tuple) -> str | None:
+    root = os.environ.get("REPRO_TUNE_CACHE")
+    if not root:
+        return None
+    payload = json.dumps(
+        [TUNE_CACHE_VERSION, kind, dataclasses.asdict(spec), list(args)],
+        sort_keys=True,
+    )
+    digest = hashlib.sha1(payload.encode()).hexdigest()[:20]
+    return os.path.join(root, f"{kind}-{digest}.json")
+
+
+def _cache_get(path: str | None) -> tuple | None:
+    """Returns ``(point,)`` on a hit (the point itself may be None)."""
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            d = json.load(f)
+        if d.get("version") != TUNE_CACHE_VERSION:
+            return None
+        return (_point_from_json(d["point"]),)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # unreadable/corrupt entry: recompute
+
+
+def _cache_put(path: str | None, point: TunedPoint | None) -> None:
+    if path is None:
+        return
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump({"version": TUNE_CACHE_VERSION, "point": _point_to_json(point)}, f)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # read-only or full disk: persistence is best-effort
+
+
+# -- the tuners ---------------------------------------------------------------
+
+
+def _score_spatial(cand) -> TunedPoint:
+    spec, machine, grid_n, threads, block_y = cand
+    traffic = measure_sweep_code_balance(
+        spec, nx=grid_n, ny=grid_n, block_y=block_y, threads=threads
+    )
+    res = simulate_sweep(
+        machine, threads, traffic.bytes_per_lup, lups=grid_lups(grid_n),
+        label=f"spatial by={block_y}",
+    )
+    return TunedPoint(
+        variant="spatial", threads=threads, result=res,
+        code_balance=traffic.bytes_per_lup, block_y=block_y,
+    )
+
+
 @lru_cache(maxsize=512)
 def tune_spatial(spec: MachineSpec, grid_n: int, threads: int) -> TunedPoint:
     """Best spatially blocked configuration at a thread count."""
-    best: TunedPoint | None = None
+    path = _cache_path("spatial", spec, (grid_n, threads))
+    hit = _cache_get(path)
+    if hit is not None and hit[0] is not None:
+        return hit[0]
     m = spec.with_cores(threads) if threads != spec.cores else spec
-    for block_y in (4, 8, 16, 32, 64):
-        if block_y > grid_n:
-            continue
-        traffic = measure_sweep_code_balance(
-            spec, nx=grid_n, ny=grid_n, block_y=block_y, threads=threads
-        )
-        res = simulate_sweep(
-            m, threads, traffic.bytes_per_lup, lups=grid_lups(grid_n),
-            label=f"spatial by={block_y}",
-        )
-        point = TunedPoint(
-            variant="spatial", threads=threads, result=res,
-            code_balance=traffic.bytes_per_lup, block_y=block_y,
-        )
+    candidates = [
+        (spec, m, grid_n, threads, block_y)
+        for block_y in (4, 8, 16, 32, 64)
+        if block_y <= grid_n
+    ]
+    best: TunedPoint | None = None
+    for point in _pmap(_score_spatial, candidates):
         if best is None or point.mlups > best.mlups:
             best = point
     assert best is not None
+    _cache_put(path, best)
     return best
 
 
@@ -132,6 +275,69 @@ def _dw_candidates(n_groups: int, bz: int, nx: int, budget: float) -> List[int]:
     return out
 
 
+def _score_tiled(cand) -> TunedPoint:
+    (spec, machine, grid_n, threads, label, s, n_groups, bz, dw, cfg,
+     sim_steps_factor) = cand
+    nx = ny = nz = grid_n
+    traffic = measure_tiled_code_balance(
+        spec, nx=nx, dw=dw, bz=bz, n_streams=n_groups
+    )
+    plan = TilingPlan.build(
+        ny=ny, nz=nz, timesteps=max(sim_steps_factor * dw, 8), dw=dw, bz=bz
+    )
+    res = simulate_tiled(
+        machine, plan, nx=nx, tg_config=cfg,
+        code_balance=traffic.bytes_per_lup,
+    )
+    return TunedPoint(
+        variant=label, threads=threads, result=res,
+        code_balance=traffic.bytes_per_lup,
+        dw=dw, bz=bz, tg=cfg,
+    )
+
+
+def _tiled_candidates(
+    spec: MachineSpec,
+    grid_n: int,
+    threads: int,
+    tg_size: int | None,
+    variant: str | None,
+    sim_steps_factor: int,
+) -> List[tuple]:
+    """The full (TG size, B_z, D_w, intra-tile split) search space, in the
+    canonical nested-loop order the winner selection depends on."""
+    nx = ny = nz = grid_n
+    machine = spec.with_cores(threads) if threads != spec.cores else spec
+    if tg_size:
+        sizes = [tg_size]
+    else:
+        # Group sizes need not divide the thread count: the scheduler may
+        # leave `threads mod s` cores idle (important at prime counts,
+        # where the only exact divisors force degenerate splits).
+        nice = {1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 14, 16, 18}
+        sizes = sorted(s for s in nice | set(divisors(threads)) if s <= threads)
+    budget = spec.usable_l3_bytes
+    out: List[tuple] = []
+    for s in sizes:
+        n_groups = threads // s
+        if n_groups < 1:
+            continue
+        label = variant or (f"{s}WD" if tg_size else "MWD")
+        for bz in BZ_CANDIDATES:
+            if bz > nz:
+                continue
+            configs = list(enumerate_tg_configs(s, bz, nx))
+            if not configs:
+                continue
+            cfg = max(configs, key=lambda c: tg_efficiency(c, nx=nx, nz=nz, bz=bz))
+            for dw in _dw_candidates(n_groups, bz, nx, budget):
+                if dw > ny:
+                    continue
+                out.append((spec, machine, grid_n, threads, label, s,
+                            n_groups, bz, dw, cfg, sim_steps_factor))
+    return out
+
+
 @lru_cache(maxsize=2048)
 def tune_tiled(
     spec: MachineSpec,
@@ -147,50 +353,20 @@ def tune_tiled(
     ``tg_size=1`` is 1WD; a fixed k gives the paper's kWD variants.
     Returns ``None`` when no diamond fits the cache at all.
     """
-    nx = ny = nz = grid_n
-    machine = spec.with_cores(threads) if threads != spec.cores else spec
-    if tg_size:
-        sizes = [tg_size]
-    else:
-        # Group sizes need not divide the thread count: the scheduler may
-        # leave `threads mod s` cores idle (important at prime counts,
-        # where the only exact divisors force degenerate splits).
-        nice = {1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 14, 16, 18}
-        sizes = sorted(s for s in nice | set(divisors(threads)) if s <= threads)
-    budget = spec.usable_l3_bytes
+    path = _cache_path(
+        "tiled", spec, (grid_n, threads, tg_size, variant, sim_steps_factor)
+    )
+    hit = _cache_get(path)
+    if hit is not None:
+        return hit[0]
+    candidates = _tiled_candidates(
+        spec, grid_n, threads, tg_size, variant, sim_steps_factor
+    )
     best: TunedPoint | None = None
-    for s in sizes:
-        n_groups = threads // s
-        if n_groups < 1:
-            continue
-        for bz in BZ_CANDIDATES:
-            if bz > nz:
-                continue
-            configs = list(enumerate_tg_configs(s, bz, nx))
-            if not configs:
-                continue
-            for dw in _dw_candidates(n_groups, bz, nx, budget):
-                if dw > ny:
-                    continue
-                cfg = max(configs, key=lambda c: tg_efficiency(c, nx=nx, nz=nz, bz=bz))
-                traffic = measure_tiled_code_balance(
-                    spec, nx=nx, dw=dw, bz=bz, n_streams=n_groups
-                )
-                plan = TilingPlan.build(
-                    ny=ny, nz=nz, timesteps=max(sim_steps_factor * dw, 8), dw=dw, bz=bz
-                )
-                res = simulate_tiled(
-                    machine, plan, nx=nx, tg_config=cfg,
-                    code_balance=traffic.bytes_per_lup,
-                )
-                point = TunedPoint(
-                    variant=variant or (f"{s}WD" if tg_size else "MWD"),
-                    threads=threads, result=res,
-                    code_balance=traffic.bytes_per_lup,
-                    dw=dw, bz=bz, tg=cfg,
-                )
-                if best is None or point.mlups > best.mlups:
-                    best = point
+    for point in _pmap(_score_tiled, candidates):
+        if best is None or point.mlups > best.mlups:
+            best = point
+    _cache_put(path, best)
     return best
 
 

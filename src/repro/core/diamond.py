@@ -44,6 +44,7 @@ membership test is ``2*i*Dw <= tau + P < 2*(i+1)*Dw`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property, lru_cache
 from typing import Dict, Iterator, List, Tuple
 
 __all__ = ["RowSpan", "DiamondTile", "enumerate_tiles", "node_tile_index"]
@@ -105,7 +106,7 @@ class DiamondTile:
     def tau_hi(self) -> int:
         return self.rows[-1].tau
 
-    @property
+    @cached_property
     def n_nodes(self) -> int:
         return sum(r.width for r in self.rows)
 
@@ -182,6 +183,17 @@ def enumerate_tiles(ny: int, timesteps: int, dw: int) -> Dict[Tuple[int, int], D
     dict
         ``(i, j) -> DiamondTile`` containing every node exactly once.
     """
+    return dict(_enumerate_tiles_cached(ny, timesteps, dw))
+
+
+@lru_cache(maxsize=512)
+def _enumerate_tiles_cached(
+    ny: int, timesteps: int, dw: int
+) -> Dict[Tuple[int, int], DiamondTile]:
+    # The tessellation depends only on (ny, timesteps, dw) -- not on bz or
+    # nz -- so every B_z candidate of an auto-tuning sweep shares one
+    # enumeration.  Tiles are frozen; the public wrapper hands each caller
+    # its own shallow dict copy.
     if dw < 2 or dw % 2:
         raise ValueError(f"diamond width must be an even integer >= 2, got {dw}")
     if ny < 1:

@@ -10,6 +10,7 @@ checker and the machine simulator's access-stream generator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -20,6 +21,22 @@ from .wavefront import RowJob, tile_row_jobs
 __all__ = ["TilingPlan"]
 
 TileIndex = Tuple[int, int]
+
+
+@lru_cache(maxsize=256)
+def _tile_dag(ny: int, timesteps: int, dw: int):
+    """Tessellation + dependency DAG, shared across plans (the DAG does
+    not depend on nz or bz; builders get shallow dict copies)."""
+    tiles = enumerate_tiles(ny, timesteps, dw)
+    preds: Dict[TileIndex, Tuple[TileIndex, ...]] = {}
+    succs_mut: Dict[TileIndex, List[TileIndex]] = {idx: [] for idx in tiles}
+    for idx, tile in tiles.items():
+        ps = tuple(p for p in tile.predecessors() if p in tiles)
+        preds[idx] = ps
+        for p in ps:
+            succs_mut[p].append(idx)
+    succs = {idx: tuple(s) for idx, s in succs_mut.items()}
+    return tiles, preds, succs
 
 
 @dataclass
@@ -54,17 +71,9 @@ class TilingPlan:
             raise ValueError("nz must be >= 1")
         if bz < 1:
             raise ValueError("bz must be >= 1")
-        tiles = enumerate_tiles(ny, timesteps, dw)
-        preds: Dict[TileIndex, Tuple[TileIndex, ...]] = {}
-        succs_mut: Dict[TileIndex, List[TileIndex]] = {idx: [] for idx in tiles}
-        for idx, tile in tiles.items():
-            ps = tuple(p for p in tile.predecessors() if p in tiles)
-            preds[idx] = ps
-            for p in ps:
-                succs_mut[p].append(idx)
-        succs = {idx: tuple(s) for idx, s in succs_mut.items()}
+        tiles, preds, succs = _tile_dag(ny, timesteps, dw)
         return cls(ny=ny, nz=nz, timesteps=timesteps, dw=dw, bz=bz,
-                   tiles=tiles, preds=preds, succs=succs)
+                   tiles=dict(tiles), preds=dict(preds), succs=dict(succs))
 
     # -- inspection ------------------------------------------------------------
 

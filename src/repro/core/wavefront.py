@@ -58,6 +58,27 @@ class RowJob:
         """Node-cells covered (multiply by nx for grid cells)."""
         return (self.y_hi - self.y_lo) * (self.z_hi - self.z_lo)
 
+    def shape_key(self, ny: int, nz: int) -> tuple:
+        """Canonical shape-class signature of the job on an (ny, nz) domain.
+
+        Two jobs with equal signatures produce identical chunk-access
+        streams up to a translation by their ``(y_lo, z_lo)`` anchor: the
+        stencil offsets are all in {-1, 0, +1}, so besides the half-step
+        class and the box extents only adjacency to the four domain edges
+        can change the clipped access pattern.  This is what lets the
+        stream generator pay for each congruent diamond job class once
+        (see :mod:`repro.machine.streams`).
+        """
+        return (
+            self.tau & 1,
+            self.y_hi - self.y_lo,
+            self.z_hi - self.z_lo,
+            self.y_lo == 0,
+            self.y_hi == ny,
+            self.z_lo == 0,
+            self.z_hi == nz,
+        )
+
 
 def level_offsets(tile: DiamondTile) -> List[int]:
     """Cumulative z-trailing offset of each sub-step level of the tile."""

@@ -90,11 +90,41 @@ def region_lups(region: Region) -> int:
     return n
 
 
-def _shifted_read(arr: np.ndarray, region: Region, axis: int, shift: int, periodic: bool) -> np.ndarray:
+#: Reusable kernel work buffers, keyed by (shape, dtype, slot).  The update
+#: of one region needs at most four same-shaped buffers alive at once (two
+#: accumulators + two wrapped shifted reads); reusing them removes every
+#: per-call allocation from the hot path.  The executor is single-threaded,
+#: so a module-level pool is safe.
+_SCRATCH: dict = {}
+_SCRATCH_MAX = 64
+
+
+def _scratch(shape: tuple, dtype, slot: int) -> np.ndarray:
+    key = (shape, dtype, slot)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= _SCRATCH_MAX:
+            _SCRATCH.clear()
+        buf = np.empty(shape, dtype)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def _shifted_read(
+    arr: np.ndarray,
+    region: Region,
+    axis: int,
+    shift: int,
+    periodic: bool,
+    scratch_slot: int = 0,
+) -> np.ndarray:
     """Read ``arr`` over ``region`` displaced by ``shift`` along ``axis``.
 
-    Wraps around on periodic axes (the far read of a unit-shift stencil
-    crosses the boundary by at most one cell).
+    In bounds this is a zero-copy view.  On a periodic axis the unit-shift
+    far read crosses the boundary by at most one cell, so the wrapped read
+    is the concatenation of two contiguous slices -- assembled into a
+    reused scratch buffer (valid until the next ``scratch_slot`` reuse)
+    instead of gathering through a modulo fancy index.
     """
     lo = region[axis].start + shift
     hi = region[axis].stop + shift
@@ -107,8 +137,22 @@ def _shifted_read(arr: np.ndarray, region: Region, axis: int, shift: int, period
         raise IndexError(
             f"shifted read [{lo}, {hi}) out of bounds on non-periodic axis {axis}"
         )
-    sl[axis] = np.arange(lo, hi) % n
-    return arr[tuple(sl)]
+    if lo < 0 and hi > n:  # |shift| > 1 never happens for these stencils
+        sl[axis] = np.arange(lo, hi) % n
+        return arr[tuple(sl)]
+    sl2 = list(region)
+    if lo < 0:
+        sl[axis] = slice(n + lo, n)
+        sl2[axis] = slice(0, hi)
+    else:
+        sl[axis] = slice(lo, n)
+        sl2[axis] = slice(0, hi - n)
+    shape = tuple(
+        (hi - lo) if ax == axis else (s.stop - s.start) for ax, s in enumerate(region)
+    )
+    out = _scratch(shape, arr.dtype, 100 + scratch_slot)
+    np.concatenate((arr[tuple(sl)], arr[tuple(sl2)]), axis=axis, out=out)
+    return out
 
 
 def update_component(
@@ -121,7 +165,10 @@ def update_component(
 
     ``region`` must already be valid for this component (see
     :func:`clip_region`); this is the hot path and performs no clipping of
-    its own.
+    its own.  All intermediates go through reused scratch buffers, in
+    exactly the operation order of the plain expression
+    ``t * (A' + B' - A - B) + c * F (+ src)`` -- results are bit-identical
+    to the allocating form.
     """
     spec = SPECS[name]
     grid = fields.grid
@@ -130,17 +177,25 @@ def update_component(
 
     a = fields[spec.reads[0]]
     b = fields[spec.reads[1]]
-    near = a[region] + b[region]
-    far = _shifted_read(a, region, axis, spec.shift, periodic) + _shifted_read(
-        b, region, axis, spec.shift, periodic
+    shape = tuple(sl.stop - sl.start for sl in region)
+    s1 = _scratch(shape, a.dtype, 0)
+    s2 = _scratch(shape, a.dtype, 1)
+    near = np.add(a[region], b[region], out=s1)
+    far = np.add(
+        _shifted_read(a, region, axis, spec.shift, periodic, scratch_slot=0),
+        _shifted_read(b, region, axis, spec.shift, periodic, scratch_slot=1),
+        out=s2,
     )
     # H updates difference (far - near) = F[i+1] - F[i]; E updates
     # (near - far) = F[i] - F[i-1].  The 1/d factor lives in ``t``.
-    diff = far - near if spec.shift > 0 else near - far
+    if spec.shift > 0:
+        diff = np.subtract(far, near, out=s2)
+    else:
+        diff = np.subtract(near, far, out=s2)
 
     f = fields[name]
-    out = coeffs.t(name)[region] * diff
-    out += coeffs.c(name)[region] * f[region]
+    out = np.multiply(coeffs.t(name)[region], diff, out=s1)
+    out += np.multiply(coeffs.c(name)[region], f[region], out=s2)
     src = coeffs.src(name)
     if src is not None:
         out += src[region]

@@ -7,13 +7,16 @@ schedules' access streams (:mod:`cache`, :mod:`streams`, :mod:`measure`
 (:mod:`simulator`) and the calibration provenance (:mod:`calibration`).
 """
 
-from .cache import CacheStats, LRUCache
+from .cache import BatchLRU, CacheStats, LRUCache
 from .calibration import CalibrationReport, validate_calibration
+from .counters import SUBSTRATE_COUNTERS, SubstrateCounters
 from .measure import (
     TrafficResult,
     measure_sweep_code_balance,
     measure_tiled_code_balance,
+    resolve_engine,
 )
+from .native import NativeLRU, make_lru, native_available
 from .simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
 from .spec import HASWELL_EP, MachineSpec
 from .streams import (
@@ -23,6 +26,8 @@ from .streams import (
     COMPONENT_RECIPES,
     AccessOp,
     ArrayGroup,
+    BatchComponentStreamEmitter,
+    BatchStreamEmitter,
     ComponentStreamEmitter,
     StreamEmitter,
 )
@@ -32,6 +37,9 @@ __all__ = [
     "ARRAY_GROUPS",
     "AccessOp",
     "ArrayGroup",
+    "BatchComponentStreamEmitter",
+    "BatchLRU",
+    "BatchStreamEmitter",
     "CLASS_RECIPES",
     "COMPONENT_RECIPES",
     "CacheStats",
@@ -40,11 +48,17 @@ __all__ = [
     "HASWELL_EP",
     "LRUCache",
     "MachineSpec",
+    "NativeLRU",
+    "SUBSTRATE_COUNTERS",
     "SimResult",
     "StreamEmitter",
+    "SubstrateCounters",
     "TrafficResult",
+    "make_lru",
     "measure_sweep_code_balance",
     "measure_tiled_code_balance",
+    "native_available",
+    "resolve_engine",
     "simulate_sweep",
     "simulate_tiled",
     "tg_efficiency",

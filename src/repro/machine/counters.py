@@ -1,0 +1,71 @@
+"""Lightweight performance counters for the machine substrate itself.
+
+The simulated machine *produces* performance numbers; this module counts
+the cost of producing them: how many chunk accesses were replayed through
+the LRU model, how often the stream-signature memoization hit, and how
+much wall-clock the replay consumed.  The substrate speed benchmark
+(``benchmarks/bench_substrate_speed.py``) and ``repro bench`` surface
+these so perf regressions in the substrate are visible as data, not
+anecdotes.
+
+Counting is deliberately coarse (one increment per *job*, never per
+access) so the counters themselves stay out of the hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["SubstrateCounters", "SUBSTRATE_COUNTERS", "timed_section"]
+
+
+@dataclass
+class SubstrateCounters:
+    """Aggregate telemetry of the stream/replay substrate."""
+
+    #: RowJob / component-row batches replayed through a batched engine.
+    jobs_replayed: int = 0
+    #: Individual chunk accesses those batches expanded to.
+    accesses_replayed: int = 0
+    #: Stream-signature memo hits (a congruent job reused a packed stream).
+    stream_memo_hits: int = 0
+    #: Stream-signature memo misses (a packed stream had to be generated).
+    stream_memo_misses: int = 0
+    #: Wall-clock seconds spent inside named sections (see timed_section).
+    section_seconds: dict = field(default_factory=dict)
+
+    @property
+    def stream_memo_rate(self) -> float:
+        n = self.stream_memo_hits + self.stream_memo_misses
+        return self.stream_memo_hits / n if n else 0.0
+
+    def snapshot(self) -> dict:
+        d = asdict(self)
+        d["stream_memo_rate"] = round(self.stream_memo_rate, 4)
+        return d
+
+    def reset(self) -> None:
+        self.jobs_replayed = 0
+        self.accesses_replayed = 0
+        self.stream_memo_hits = 0
+        self.stream_memo_misses = 0
+        self.section_seconds = {}
+
+
+#: Process-global counters (the substrate is single-threaded per process;
+#: multiprocessing tuner workers each count in their own copy).
+SUBSTRATE_COUNTERS = SubstrateCounters()
+
+
+@contextmanager
+def timed_section(name: str, counters: SubstrateCounters = SUBSTRATE_COUNTERS):
+    """Accumulate the wall-clock of a code section under ``name``."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        counters.section_seconds[name] = (
+            counters.section_seconds.get(name, 0.0) + time.perf_counter() - t0
+        )

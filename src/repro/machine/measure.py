@@ -19,25 +19,83 @@ Reduction to a representative window (documented in DESIGN.md):
 
 Results are memoized: the auto-tuner and the figure benchmarks revisit
 the same configurations many times.
+
+Replay engines
+--------------
+Three interchangeable engines produce byte-identical traffic counts
+(asserted by the equivalence property tests):
+
+* ``"reference"`` -- the original per-access Python loop
+  (:class:`~repro.machine.streams.StreamEmitter` over
+  :class:`~repro.machine.cache.LRUCache`); the correctness oracle.
+* ``"batch"`` -- signature-memoized packed streams replayed through the
+  pure-Python :class:`~repro.machine.cache.BatchLRU`.
+* ``"native"`` -- the same packed streams through the compiled kernel of
+  :mod:`repro.machine.native` (falls back to ``"batch"`` transparently).
+
+The default ``"auto"`` picks the fastest available; override per call or
+process-wide via ``REPRO_STREAM_ENGINE``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterator, List
 
 from ..core.plan import TilingPlan
 from ..core.wavefront import RowJob, tile_row_jobs, wavefront_width
-from .cache import LRUCache
+from .cache import BatchLRU, LRUCache
+from .native import make_lru
 from .spec import MachineSpec
-from .streams import ComponentStreamEmitter, StreamEmitter
+from .streams import (
+    BatchComponentStreamEmitter,
+    BatchStreamEmitter,
+    ComponentStreamEmitter,
+    StreamEmitter,
+)
 
 __all__ = [
     "TrafficResult",
     "measure_tiled_code_balance",
     "measure_sweep_code_balance",
+    "resolve_engine",
 ]
+
+ENGINES = ("reference", "batch", "native")
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Resolve an engine name (or ``None`` / ``"auto"``) to a concrete one."""
+    e = engine or os.environ.get("REPRO_STREAM_ENGINE") or "auto"
+    if e == "auto":
+        return "native"
+    if e not in ENGINES:
+        raise ValueError(f"unknown stream engine {e!r}, expected one of {ENGINES}")
+    return e
+
+
+def _make_group_emitter(engine: str, capacity: float, ny: int, nz: int, nx: int):
+    if engine == "reference":
+        cache = LRUCache(capacity)
+        return cache, StreamEmitter(cache, ny=ny, nz=nz, nx=nx)
+    if engine == "batch":
+        cache = BatchLRU(capacity)
+    else:  # native (falls back to BatchLRU when the kernel is unavailable)
+        cache = make_lru(capacity, BatchStreamEmitter.key_space(ny, nz))
+    return cache, BatchStreamEmitter(cache, ny=ny, nz=nz, nx=nx)
+
+
+def _make_component_emitter(engine: str, capacity: float, ny: int, nz: int, nx: int):
+    if engine == "reference":
+        cache = LRUCache(capacity)
+        return cache, ComponentStreamEmitter(cache, ny=ny, nz=nz, nx=nx)
+    if engine == "batch":
+        cache = BatchLRU(capacity)
+    else:
+        cache = make_lru(capacity, BatchComponentStreamEmitter.key_space(ny, nz))
+    return cache, BatchComponentStreamEmitter(cache, ny=ny, nz=nz, nx=nx)
 
 
 @dataclass(frozen=True)
@@ -70,7 +128,6 @@ def _interleave_band(plan: TilingPlan, band: int) -> Iterator[RowJob]:
         streams = alive
 
 
-@lru_cache(maxsize=4096)
 def measure_tiled_code_balance(
     spec: MachineSpec,
     nx: int,
@@ -79,6 +136,7 @@ def measure_tiled_code_balance(
     n_streams: int,
     nz_sim: int | None = None,
     measure_bands: int = 2,
+    engine: str | None = None,
 ) -> TrafficResult:
     """Measured bytes/LUP of a wavefront-diamond schedule.
 
@@ -96,7 +154,25 @@ def measure_tiled_code_balance(
         cache (``threads // tg_size`` in MWD, ``threads`` in 1WD).
     nz_sim:
         Simulated z extent; defaults to a few wavefront windows.
+    engine:
+        Replay engine (see module docstring); default: fastest available.
     """
+    return _measure_tiled_cached(
+        spec, nx, dw, bz, n_streams, nz_sim, measure_bands, resolve_engine(engine)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _measure_tiled_cached(
+    spec: MachineSpec,
+    nx: int,
+    dw: int,
+    bz: int,
+    n_streams: int,
+    nz_sim: int | None,
+    measure_bands: int,
+    engine: str,
+) -> TrafficResult:
     if n_streams < 1:
         raise ValueError("n_streams must be >= 1")
     if nz_sim is None:
@@ -106,15 +182,22 @@ def measure_tiled_code_balance(
     timesteps = max(dw * (measure_bands + 2) // 2, dw)
     plan = TilingPlan.build(ny=ny_sim, nz=nz_sim, timesteps=timesteps, dw=dw, bz=bz)
 
-    cache = LRUCache(spec.usable_l3_bytes)
-    emitter = StreamEmitter(cache, ny=ny_sim, nz=nz_sim, nx=nx)
+    cache, emitter = _make_group_emitter(
+        engine, spec.usable_l3_bytes, ny=ny_sim, nz=nz_sim, nx=nx
+    )
+
+    def emit_band(band: int) -> None:
+        if hasattr(emitter, "emit_tiles_interleaved"):
+            emitter.emit_tiles_interleaved(plan.band_tiles(band), plan.bz)
+        else:
+            emitter.emit_jobs(_interleave_band(plan, band))
+
     bands = plan.bands
-    warm = bands[0]
-    emitter.emit_jobs(_interleave_band(plan, warm))
+    emit_band(bands[0])  # warm-up
     cache.reset_stats()
     cells0 = emitter.cells
     for band in bands[1 : 1 + measure_bands]:
-        emitter.emit_jobs(_interleave_band(plan, band))
+        emit_band(band)
     stats = cache.stats
     cells = emitter.cells - cells0
     return TrafficResult(
@@ -126,7 +209,7 @@ def measure_tiled_code_balance(
 
 
 def _sweep_rows(
-    emitter: ComponentStreamEmitter,
+    emitter,
     ny: int,
     nz: int,
     timesteps: int,
@@ -173,7 +256,6 @@ def _sweep_rows(
                     streams = alive
 
 
-@lru_cache(maxsize=1024)
 def measure_sweep_code_balance(
     spec: MachineSpec,
     nx: int,
@@ -182,12 +264,30 @@ def measure_sweep_code_balance(
     threads: int = 1,
     nz_sim: int = 12,
     timesteps: int = 3,
+    engine: str | None = None,
 ) -> TrafficResult:
     """Measured bytes/LUP of the naive or spatially blocked sweep."""
+    return _measure_sweep_cached(
+        spec, nx, ny, block_y, threads, nz_sim, timesteps, resolve_engine(engine)
+    )
+
+
+@lru_cache(maxsize=1024)
+def _measure_sweep_cached(
+    spec: MachineSpec,
+    nx: int,
+    ny: int,
+    block_y: int | None,
+    threads: int,
+    nz_sim: int,
+    timesteps: int,
+    engine: str,
+) -> TrafficResult:
     if threads < 1:
         raise ValueError("threads must be >= 1")
-    cache = LRUCache(spec.usable_l3_bytes)
-    emitter = ComponentStreamEmitter(cache, ny=ny, nz=nz_sim, nx=nx)
+    cache, emitter = _make_component_emitter(
+        engine, spec.usable_l3_bytes, ny=ny, nz=nz_sim, nx=nx
+    )
     _sweep_rows(emitter, ny, nz_sim, 1, block_y, threads)
     cache.reset_stats()
     cells0 = emitter.cells

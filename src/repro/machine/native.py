@@ -1,0 +1,335 @@
+"""Native (ctypes) LRU replay engine with transparent fallback.
+
+Loads the tight C loop of ``_lru_kernel.c`` (compiled on first use with
+the system C compiler into ``_build/`` next to this module) and wraps it
+in :class:`NativeLRU`, an engine with the same replay interface and
+byte-identical :class:`~repro.machine.cache.CacheStats` accounting as the
+pure-Python :class:`~repro.machine.cache.BatchLRU` -- which remains the
+fallback whenever no compiler is available, the build fails, or the
+emitter's key space is too large for direct mapping.
+
+Selection is automatic (:func:`make_lru`); set ``REPRO_NO_NATIVE=1`` to
+force the pure-Python engine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .cache import BatchLRU, CacheStats
+
+__all__ = ["NativeLRU", "make_lru", "native_available"]
+
+#: Direct mapping allocates a few small arrays per key; cap the key space
+#: so degenerate emitter domains cannot balloon memory (64M keys ~ 1.6 GB
+#: would; this cap keeps it under ~200 MB).
+MAX_KEY_SPACE = 8 * 1024 * 1024
+
+_SRC = os.path.join(os.path.dirname(__file__), "_lru_kernel.c")
+_LIB = None
+_LIB_TRIED = False
+
+
+class _LruState(ctypes.Structure):
+    _fields_ = [
+        ("capacity", ctypes.c_double),
+        ("used", ctypes.c_int64),
+        ("mru", ctypes.c_int64),
+        ("lru", ctypes.c_int64),
+        ("count", ctypes.c_int64),
+        ("read_hits", ctypes.c_int64),
+        ("read_misses", ctypes.c_int64),
+        ("write_hits", ctypes.c_int64),
+        ("write_misses", ctypes.c_int64),
+        ("writebacks", ctypes.c_int64),
+        ("mem_read_bytes", ctypes.c_int64),
+        ("mem_write_bytes", ctypes.c_int64),
+    ]
+
+
+def _build_library():
+    """Compile (once) and load the kernel; returns the CDLL or None."""
+    with open(_SRC, "rb") as f:
+        src = f.read()
+    tag = hashlib.sha1(src).hexdigest()[:12]
+    build_dir = os.environ.get(
+        "REPRO_NATIVE_BUILD_DIR", os.path.join(os.path.dirname(_SRC), "_build")
+    )
+    so_path = os.path.join(build_dir, f"_lru_kernel-{tag}.so")
+    if not os.path.exists(so_path):
+        os.makedirs(build_dir, exist_ok=True)
+        cc = os.environ.get("CC", "cc")
+        tmp = so_path + f".tmp{os.getpid()}"
+        subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SRC],
+            check=True,
+            capture_output=True,
+        )
+        os.replace(tmp, so_path)  # atomic vs concurrent builders
+    lib = ctypes.CDLL(so_path)
+    p64 = ctypes.POINTER(ctypes.c_int64)
+    pu8 = ctypes.POINTER(ctypes.c_uint8)
+    lib.lru_replay.restype = ctypes.c_int64
+    lib.lru_replay.argtypes = [
+        ctypes.POINTER(_LruState),
+        p64, p64, p64, pu8,  # next, prev, size, flags
+        p64, p64, p64, p64, pu8,  # rel, seg_start, seg_base, seg_size, seg_write
+        ctypes.c_int64, ctypes.c_int64,  # n_seg, base
+    ]
+    lib.lru_replay_jobs.restype = ctypes.c_int64
+    lib.lru_replay_jobs.argtypes = [
+        ctypes.POINTER(_LruState),
+        p64, p64, p64, pu8,  # next, prev, size, flags
+        p64, p64, p64, p64, pu8,  # rel, seg_start, seg_base, seg_size, seg_write
+        p64, p64, p64,  # job_lo, job_hi, job_base
+        ctypes.c_int64,  # n_jobs
+    ]
+    return lib
+
+
+def _get_library():
+    global _LIB, _LIB_TRIED
+    if not _LIB_TRIED:
+        _LIB_TRIED = True
+        if not os.environ.get("REPRO_NO_NATIVE"):
+            try:
+                _LIB = _build_library()
+            except Exception:  # no compiler, read-only tree, ... -> fallback
+                _LIB = None
+    return _LIB
+
+
+def native_available() -> bool:
+    """Whether the compiled replay kernel can be used on this machine."""
+    return _get_library() is not None
+
+
+def _as_i64(x) -> np.ndarray:
+    return np.ascontiguousarray(x, dtype=np.int64)
+
+
+class NativeLRU:
+    """Direct-mapped exact-LRU replay engine backed by the C kernel.
+
+    Keys must lie in ``[0, key_space)`` -- emitter chunk keys are dense by
+    construction (``(gid * ny + y) * nz + z``), which is what makes direct
+    mapping possible.  Interface and accounting match :class:`BatchLRU`.
+    """
+
+    def __init__(self, capacity_bytes: float, key_space: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if key_space < 1:
+            raise ValueError("key_space must be >= 1")
+        lib = _get_library()
+        if lib is None:
+            raise RuntimeError("native LRU kernel unavailable")
+        self._lib = lib
+        self.capacity_bytes = float(capacity_bytes)
+        self.key_space = int(key_space)
+        self._next = np.full(key_space, -1, dtype=np.int64)
+        self._prev = np.full(key_space, -1, dtype=np.int64)
+        self._size = np.zeros(key_space, dtype=np.int64)
+        self._flags = np.zeros(key_space, dtype=np.uint8)
+        self._st = _LruState()
+        self._st.capacity = self.capacity_bytes
+        self._st.mru = -1
+        self._st.lru = -1
+        p64 = ctypes.POINTER(ctypes.c_int64)
+        pu8 = ctypes.POINTER(ctypes.c_uint8)
+        self._ptrs = (
+            self._next.ctypes.data_as(p64),
+            self._prev.ctypes.data_as(p64),
+            self._size.ctypes.data_as(p64),
+            self._flags.ctypes.data_as(pu8),
+        )
+        self._st_ref = ctypes.byref(self._st)
+        # Growable shared segment table (see table_add / replay_jobs).
+        self._tab_rel: List[np.ndarray] = []
+        self._tab_base: List[int] = []
+        self._tab_size: List[int] = []
+        self._tab_write: List[int] = []
+        self._tab_nseg = 0
+        self._tab_ptrs = None
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        st = self._st
+        return CacheStats(
+            read_hits=st.read_hits,
+            read_misses=st.read_misses,
+            write_hits=st.write_hits,
+            write_misses=st.write_misses,
+            writebacks=st.writebacks,
+            mem_read_bytes=st.mem_read_bytes,
+            mem_write_bytes=st.mem_write_bytes,
+        )
+
+    @property
+    def used_bytes(self) -> int:
+        return int(self._st.used)
+
+    def __len__(self) -> int:
+        return int(self._st.count)
+
+    def __contains__(self, key: int) -> bool:
+        return 0 <= key < self.key_space and bool(self._flags[key] & 1)
+
+    def keys_lru_to_mru(self) -> List[int]:
+        """Resident keys in recency order (diagnostics / tests)."""
+        out: List[int] = []
+        k = int(self._st.lru)
+        while k != -1:
+            out.append(k)
+            k = int(self._next[k])
+        return out
+
+    # -- the hot path -------------------------------------------------------
+
+    def prepare(self, segments: Sequence[Tuple[int, int, bool, Sequence[int]]]):
+        """Pack generic ``(prebase, size, write, rel_keys)`` segments into
+        the flat arrays one kernel call consumes."""
+        n_seg = len(segments)
+        seg_start = np.zeros(n_seg + 1, dtype=np.int64)
+        seg_base = np.zeros(n_seg, dtype=np.int64)
+        seg_size = np.zeros(n_seg, dtype=np.int64)
+        seg_write = np.zeros(n_seg, dtype=np.uint8)
+        rels = []
+        for s, (prebase, size, write, rel) in enumerate(segments):
+            seg_base[s] = prebase
+            seg_size[s] = size
+            seg_write[s] = 1 if write else 0
+            rels.append(_as_i64(rel))
+            seg_start[s + 1] = seg_start[s] + len(rels[-1])
+        rel = np.concatenate(rels) if rels else np.zeros(0, dtype=np.int64)
+        p64 = ctypes.POINTER(ctypes.c_int64)
+        pu8 = ctypes.POINTER(ctypes.c_uint8)
+        # Keep the arrays alive alongside the raw pointers the call uses.
+        return (
+            rel, seg_start, seg_base, seg_size, seg_write,
+            rel.ctypes.data_as(p64), seg_start.ctypes.data_as(p64),
+            seg_base.ctypes.data_as(p64), seg_size.ctypes.data_as(p64),
+            seg_write.ctypes.data_as(pu8), n_seg,
+        )
+
+    def replay(self, prepared, base: int = 0) -> int:
+        """Replay a prepared segment table at an absolute base offset."""
+        if isinstance(prepared, (list, tuple)) and (
+            not prepared or isinstance(prepared[0], tuple)
+        ):
+            prepared = self.prepare(prepared)
+        (_, _, _, _, _, rel_p, start_p, base_p, size_p, write_p, n_seg) = prepared
+        nxt, prv, siz, flg = self._ptrs
+        return int(
+            self._lib.lru_replay(
+                ctypes.byref(self._st), nxt, prv, siz, flg,
+                rel_p, start_p, base_p, size_p, write_p, n_seg, base,
+            )
+        )
+
+    def access(self, key: int, size: int, write: bool) -> bool:
+        """Single-access compatibility shim (not the hot path)."""
+        hit = key in self
+        self.replay([(0, size, write, [key])])
+        return hit
+
+    # -- shared segment table + job batching --------------------------------
+
+    def table_add(self, segments: Sequence[Tuple[int, int, bool, Sequence[int]]]):
+        """Append segments to the shared table; returns ``(lo, hi, n)`` --
+        the segment index range and the total accesses it covers.  Jobs of
+        the same shape class all reference one such range (translated per
+        job by their base), so the table grows only per *distinct* shape."""
+        lo = self._tab_nseg
+        n = 0
+        for prebase, size, write, rel in segments:
+            a = _as_i64(rel)
+            self._tab_rel.append(a)
+            self._tab_base.append(prebase)
+            self._tab_size.append(size)
+            self._tab_write.append(1 if write else 0)
+            n += len(a)
+        self._tab_nseg += len(segments)
+        self._tab_ptrs = None  # re-materialize on next replay
+        return lo, self._tab_nseg, n
+
+    def _table_arrays(self):
+        if self._tab_ptrs is None:
+            nseg = self._tab_nseg
+            rel = (
+                np.concatenate(self._tab_rel)
+                if self._tab_rel
+                else np.zeros(0, dtype=np.int64)
+            )
+            seg_start = np.zeros(nseg + 1, dtype=np.int64)
+            np.cumsum([len(a) for a in self._tab_rel], out=seg_start[1:])
+            seg_base = np.asarray(self._tab_base, dtype=np.int64)
+            seg_size = np.asarray(self._tab_size, dtype=np.int64)
+            seg_write = np.asarray(self._tab_write, dtype=np.uint8)
+            p64 = ctypes.POINTER(ctypes.c_int64)
+            pu8 = ctypes.POINTER(ctypes.c_uint8)
+            self._tab_ptrs = (
+                rel, seg_start, seg_base, seg_size, seg_write,
+                rel.ctypes.data_as(p64), seg_start.ctypes.data_as(p64),
+                seg_base.ctypes.data_as(p64), seg_size.ctypes.data_as(p64),
+                seg_write.ctypes.data_as(pu8),
+            )
+        return self._tab_ptrs
+
+    def replay_jobs(self, job_lo, job_hi, job_base) -> int:
+        """Replay a batch of jobs -- table ranges ``[lo, hi)`` translated
+        by per-job bases -- in one kernel call."""
+        tab = self._table_arrays()
+        jl = _as_i64(job_lo)
+        jh = _as_i64(job_hi)
+        jb = _as_i64(job_base)
+        p64 = ctypes.POINTER(ctypes.c_int64)
+        nxt, prv, siz, flg = self._ptrs
+        return int(
+            self._lib.lru_replay_jobs(
+                self._st_ref, nxt, prv, siz, flg,
+                tab[5], tab[6], tab[7], tab[8], tab[9],
+                jl.ctypes.data_as(p64), jh.ctypes.data_as(p64),
+                jb.ctypes.data_as(p64), len(jl),
+            )
+        )
+
+    # -- management ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write back all dirty chunks and empty the cache."""
+        dirty = self._flags == 3
+        st = self._st
+        st.writebacks += int(np.count_nonzero(dirty))
+        st.mem_write_bytes += int(self._size[dirty].sum())
+        self._flags[:] = 0
+        self._next[:] = -1
+        self._prev[:] = -1
+        st.used = 0
+        st.count = 0
+        st.mru = -1
+        st.lru = -1
+
+    def reset_stats(self) -> CacheStats:
+        """Return current stats and start a fresh counter epoch (cache
+        contents are kept -- used to discard warm-up traffic)."""
+        old = self.stats
+        st = self._st
+        st.read_hits = st.read_misses = st.write_hits = st.write_misses = 0
+        st.writebacks = st.mem_read_bytes = st.mem_write_bytes = 0
+        return old
+
+
+def make_lru(capacity_bytes: float, key_space: int):
+    """The fastest available exact-LRU engine for a dense key space."""
+    if native_available() and key_space <= MAX_KEY_SPACE:
+        return NativeLRU(capacity_bytes, key_space)
+    return BatchLRU(capacity_bytes)

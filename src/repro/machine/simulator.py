@@ -40,7 +40,6 @@ from typing import Dict, List, Sequence
 from ..core.plan import TileIndex, TilingPlan
 from ..core.queue import TileQueue
 from ..core.threadgroups import ThreadGroupConfig
-from ..core.wavefront import level_offsets
 from ..fdfd.specs import component_groups, flops_for_component, E_COMPONENTS, H_COMPONENTS
 from .spec import MachineSpec
 
@@ -175,9 +174,12 @@ def simulate_tiled(
     total_lups = 0.0
     total_bytes = 0.0
 
+    fronts_z = -(-plan.nz // plan.bz)
+
     def tile_overhead(idx: TileIndex) -> float:
-        tile = plan.tiles[idx]
-        fronts = -(-plan.nz // plan.bz) + len(level_offsets(tile))
+        # level_offsets yields one entry per row, so its length is just
+        # the row count -- no need to materialize the offsets here.
+        fronts = fronts_z + len(plan.tiles[idx].rows)
         syncs = fronts if s > 1 else 0
         return sync * (2 + syncs)
 
@@ -201,24 +203,25 @@ def simulate_tiled(
         if not running:
             raise RuntimeError("deadlock: no running tiles but queue not exhausted")
 
-        caps = [cap_rate] * len(running)
-        demands = [rt.bytes_per_lup for rt in running]
-        rates = _water_fill(demands, caps, spec.bandwidth_gbs * 1e9)
+        # Every running tile has the same cap and bytes/LUP here, so the
+        # general water-fill reduces to one comparison producing the exact
+        # same floats: all capped, or all at the fair byte share.
+        share = spec.bandwidth_gbs * 1e9 / len(running)
+        if cap_rate * code_balance <= share + 1e-9:
+            rate = cap_rate
+        else:
+            rate = share / code_balance if code_balance > 0 else cap_rate
 
         # Next completion: overhead is modelled as a rate-independent
         # prefix folded into the remaining time.
-        times = []
-        for rt, r in zip(running, rates):
-            t = rt.overhead_s + rt.remaining_lups / r
-            times.append(t)
-        dt = min(times)
+        dt = min(rt.overhead_s + rt.remaining_lups / rate for rt in running)
         now += dt
         finished: List[int] = []
-        for k, (rt, r) in enumerate(zip(running, rates)):
+        for k, rt in enumerate(running):
             if rt.overhead_s >= dt:
                 rt.overhead_s -= dt
                 continue
-            progress = (dt - rt.overhead_s) * r
+            progress = (dt - rt.overhead_s) * rate
             rt.overhead_s = 0.0
             rt.remaining_lups -= progress
             total_lups += progress

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+import numpy as np
+
 from ..fdfd.specs import (
     ALL_COMPONENTS,
     AXIS_Y,
@@ -39,7 +41,8 @@ from ..fdfd.specs import (
     SPECS,
 )
 from .cache import LRUCache
-from ..core.wavefront import RowJob
+from .counters import SUBSTRATE_COUNTERS
+from ..core.wavefront import RowJob, tile_row_jobs
 
 __all__ = [
     "ArrayGroup",
@@ -50,6 +53,8 @@ __all__ = [
     "COMPONENT_RECIPES",
     "StreamEmitter",
     "ComponentStreamEmitter",
+    "BatchStreamEmitter",
+    "BatchComponentStreamEmitter",
 ]
 
 
@@ -281,6 +286,313 @@ class ComponentStreamEmitter:
                 for z in range(z0, z1):
                     cache.access(row + z, size, write)
         self.cells += (y_hi - y_lo) * (z_hi - z_lo)
+
+    @property
+    def lups(self) -> float:
+        """Full LUPs: 12 component-cell updates each."""
+        return self.cells * self.nx / 12.0
+
+
+# ---------------------------------------------------------------------------
+# Batched emitters: signature-memoized packed streams.
+#
+# The reference emitters above regenerate every chunk key with nested
+# Python loops and push them through the cache one call at a time.  But a
+# TilingPlan contains thousands of *congruent* jobs -- same half-step
+# class, same box extents, same adjacency to the domain edges -- whose
+# access streams are identical up to a translation by the job's (y_lo,
+# z_lo) anchor (see :meth:`repro.core.wavefront.RowJob.shape_key`).  The
+# batched emitters generate the packed relative stream once per shape
+# class with NumPy, memoize it, and hand whole segments plus a base
+# offset to :meth:`repro.machine.cache.BatchLRU.replay`.  Key order
+# inside a segment is exactly the reference loop order (recipe op, then
+# y, then z), so the replay is access-for-access identical.
+# ---------------------------------------------------------------------------
+
+
+def _rect_rel_keys(ry0: int, ry1: int, rz0: int, rz1: int, nz: int) -> List[int]:
+    """Relative keys ``ry * nz + rz`` of a rectangle, y-major like the
+    reference emit loops; a plain list so the replay loop iterates ints."""
+    rel = np.arange(ry0, ry1, dtype=np.int64) * nz
+    return (rel[:, None] + np.arange(rz0, rz1, dtype=np.int64)[None, :]).ravel().tolist()
+
+
+#: Generated relative segment lists, shared across emitters: the segments
+#: of a shape class depend only on (ny, nz, nx, shape_key), and autotuning
+#: sweeps create many emitters over the same simulated domains.
+_RAW_SEGMENT_CACHE: Dict[tuple, list] = {}
+_RAW_SEGMENT_CACHE_MAX = 1 << 16
+
+
+class BatchStreamEmitter:
+    """Drop-in fast counterpart of :class:`StreamEmitter` over a batched
+    replay engine (group granularity, fused half-step recipes)."""
+
+    def __init__(self, cache, ny: int, nz: int, nx: int):
+        if ny < 1 or nz < 1 or nx < 1:
+            raise ValueError("ny, nz, nx must be >= 1")
+        self.cache = cache
+        self.ny = ny
+        self.nz = nz
+        self.nx = nx
+        self._row_bytes = [g.row_bytes(nx) for g in ARRAY_GROUPS]
+        self.cells = 0
+        # shape_key -> (prepared segments, n_accesses); see segments_for().
+        # With a job-batching engine the entry is (table_lo, table_hi, n).
+        self._memo: Dict[tuple, tuple] = {}
+        # tile congruence class -> its whole resolved job stream.
+        self._tile_memo: Dict[tuple, tuple] = {}
+        self._batched = hasattr(cache, "replay_jobs")
+
+    @staticmethod
+    def key_space(ny: int, nz: int) -> int:
+        """Upper bound (exclusive) of the dense chunk-key space."""
+        return len(ARRAY_GROUPS) * ny * nz
+
+    def raw_segments_for(self, job: RowJob):
+        """Unprepared ``(prebase, size, write, rel_keys)`` segments of a
+        job (regenerated every call -- the memoized path is emit_job)."""
+        ny, nz = self.ny, self.nz
+        plane = ny * nz
+        segments = []
+        for op in CLASS_RECIPES[job.field]:
+            y0 = max(job.y_lo + op.dy, 0)
+            y1 = min(job.y_hi + op.dy, ny)
+            z0 = max(job.z_lo + op.dz, 0)
+            z1 = min(job.z_hi + op.dz, nz)
+            if y0 >= y1 or z0 >= z1:
+                continue
+            rel = _rect_rel_keys(y0 - job.y_lo, y1 - job.y_lo,
+                                 z0 - job.z_lo, z1 - job.z_lo, nz)
+            segments.append((op.gid * plane, self._row_bytes[op.gid], op.write, rel))
+        return segments
+
+    def _raw_for_sig(self, sig: tuple, job: RowJob):
+        """Raw segments of a shape class, via the cross-emitter cache."""
+        key = (self.ny, self.nz, self.nx, sig)
+        segs = _RAW_SEGMENT_CACHE.get(key)
+        if segs is None:
+            if len(_RAW_SEGMENT_CACHE) >= _RAW_SEGMENT_CACHE_MAX:
+                _RAW_SEGMENT_CACHE.clear()
+            segs = self.raw_segments_for(job)
+            _RAW_SEGMENT_CACHE[key] = segs
+        return segs
+
+    def segments_for(self, job: RowJob):
+        """The prepared packed segments of a job's shape class (memoized)."""
+        sig = job.shape_key(self.ny, self.nz)
+        hit = self._memo.get(sig)
+        if hit is not None:
+            SUBSTRATE_COUNTERS.stream_memo_hits += 1
+            return hit
+        SUBSTRATE_COUNTERS.stream_memo_misses += 1
+        segments = self._raw_for_sig(sig, job)
+        entry = (self.cache.prepare(segments), sum(len(s[3]) for s in segments))
+        self._memo[sig] = entry
+        return entry
+
+    def emit_job(self, job: RowJob) -> None:
+        """Replay one row job's chunk accesses (batched)."""
+        if self._batched:
+            self.emit_jobs((job,))
+            return
+        segments, n = self.segments_for(job)
+        self.cache.replay(segments, base=job.y_lo * self.nz + job.z_lo)
+        self.cells += job.cells_per_x
+        c = SUBSTRATE_COUNTERS
+        c.jobs_replayed += 1
+        c.accesses_replayed += n
+
+    def emit_jobs(self, jobs: Iterable[RowJob]) -> None:
+        if not self._batched:
+            emit = self.emit_job
+            for job in jobs:
+                emit(job)
+            return
+        # Job-batching engine: resolve every job to its memoized table
+        # range + base, then hand the whole batch to one kernel call.
+        ny, nz = self.ny, self.nz
+        memo = self._memo
+        table_add = self.cache.table_add
+        lows: List[int] = []
+        highs: List[int] = []
+        bases: List[int] = []
+        total = 0
+        cells = 0
+        misses = 0
+        for job in jobs:
+            sig = job.shape_key(ny, nz)
+            e = memo.get(sig)
+            if e is None:
+                misses += 1
+                e = table_add(self._raw_for_sig(sig, job))
+                memo[sig] = e
+            lo, hi, n = e
+            lows.append(lo)
+            highs.append(hi)
+            bases.append(job.y_lo * nz + job.z_lo)
+            total += n
+            cells += job.cells_per_x
+        if lows:
+            self.cache.replay_jobs(lows, highs, bases)
+        self.cells += cells
+        c = SUBSTRATE_COUNTERS
+        c.jobs_replayed += len(lows)
+        c.accesses_replayed += total
+        c.stream_memo_misses += misses
+        c.stream_memo_hits += len(lows) - misses
+
+    def _tile_stream(self, tile, bz: int):
+        """The tile's whole serialized job stream, resolved to table
+        ranges, cached per tile *congruence class*: tiles whose rows agree
+        up to a y translation (and in domain-boundary adjacency) produce
+        identical job sequences up to the ``y0 * nz`` base shift."""
+        ny, nz = self.ny, self.nz
+        y0 = min(r.y_lo for r in tile.rows)
+        key = (
+            bz,
+            tuple(
+                (r.tau & 1, r.y_lo - y0, r.y_hi - y0, r.y_lo == 0, r.y_hi == ny)
+                for r in tile.rows
+            ),
+        )
+        entry = self._tile_memo.get(key)
+        if entry is None:
+            memo = self._memo
+            table_add = self.cache.table_add
+            c = SUBSTRATE_COUNTERS
+            los: List[int] = []
+            his: List[int] = []
+            rels: List[int] = []
+            total = 0
+            cells = 0
+            for job in tile_row_jobs(tile, nz, bz):
+                sig = job.shape_key(ny, nz)
+                e = memo.get(sig)
+                if e is None:
+                    c.stream_memo_misses += 1
+                    e = table_add(self._raw_for_sig(sig, job))
+                    memo[sig] = e
+                else:
+                    c.stream_memo_hits += 1
+                lo, hi, n = e
+                los.append(lo)
+                his.append(hi)
+                rels.append((job.y_lo - y0) * nz + job.z_lo)
+                total += n
+                cells += job.cells_per_x
+            entry = (los, his, rels, total, cells)
+            self._tile_memo[key] = entry
+        else:
+            SUBSTRATE_COUNTERS.stream_memo_hits += len(entry[0])
+        return entry, y0 * nz
+
+    def emit_tiles_interleaved(self, tiles, bz: int) -> None:
+        """Round-robin interleave the job streams of concurrently executing
+        tiles (thread groups sharing the L3) and replay them -- in one
+        kernel call when the engine supports job batching."""
+        if not self._batched:
+            streams = [tile_row_jobs(t, self.nz, bz) for t in tiles]
+            while streams:
+                alive = []
+                for s in streams:
+                    job = next(s, None)
+                    if job is not None:
+                        self.emit_job(job)
+                        alive.append(s)
+                streams = alive
+            return
+        lows: List[int] = []
+        highs: List[int] = []
+        bases: List[int] = []
+        total = 0
+        cells = 0
+        alive = []
+        for t in tiles:
+            (los, his, rels, n, cl), off = self._tile_stream(t, bz)
+            total += n
+            cells += cl
+            if los:
+                alive.append((los, his, rels, off, len(los)))
+        r = 0
+        while alive:
+            nxt = []
+            for tup in alive:
+                los, his, rels, off, length = tup
+                lows.append(los[r])
+                highs.append(his[r])
+                bases.append(off + rels[r])
+                if r + 1 < length:
+                    nxt.append(tup)
+            alive = nxt
+            r += 1
+        if lows:
+            self.cache.replay_jobs(lows, highs, bases)
+        self.cells += cells
+        c = SUBSTRATE_COUNTERS
+        c.jobs_replayed += len(lows)
+        c.accesses_replayed += total
+
+    @property
+    def lups(self) -> float:
+        """Full lattice-site updates emitted (absolute, including x)."""
+        return self.cells * self.nx / 2.0
+
+
+class BatchComponentStreamEmitter:
+    """Drop-in fast counterpart of :class:`ComponentStreamEmitter`
+    (single-array granularity, per-component loop nests)."""
+
+    def __init__(self, cache, ny: int, nz: int, nx: int):
+        if ny < 1 or nz < 1 or nx < 1:
+            raise ValueError("ny, nz, nx must be >= 1")
+        self.cache = cache
+        self.ny = ny
+        self.nz = nz
+        self.nx = nx
+        self._row_bytes = BYTES_PER_NUMBER * nx
+        self.cells = 0
+        self._memo: Dict[tuple, tuple] = {}
+
+    @staticmethod
+    def key_space(ny: int, nz: int) -> int:
+        """Upper bound (exclusive) of the dense chunk-key space."""
+        return len(ALL_ARRAYS) * ny * nz
+
+    def _segments_for(self, comp: str, y_lo: int, y_hi: int, z_lo: int, z_hi: int):
+        ny, nz = self.ny, self.nz
+        sig = (comp, y_hi - y_lo, z_hi - z_lo,
+               y_lo == 0, y_hi == ny, z_lo == 0, z_hi == nz)
+        hit = self._memo.get(sig)
+        if hit is not None:
+            SUBSTRATE_COUNTERS.stream_memo_hits += 1
+            return hit
+        SUBSTRATE_COUNTERS.stream_memo_misses += 1
+        plane = ny * nz
+        size = self._row_bytes
+        segments = []
+        n = 0
+        for op in COMPONENT_RECIPES[comp]:
+            y0 = max(y_lo + op.dy, 0)
+            y1 = min(y_hi + op.dy, ny)
+            z0 = max(z_lo + op.dz, 0)
+            z1 = min(z_hi + op.dz, nz)
+            if y0 >= y1 or z0 >= z1:
+                continue
+            rel = _rect_rel_keys(y0 - y_lo, y1 - y_lo, z0 - z_lo, z1 - z_lo, nz)
+            segments.append((op.gid * plane, size, op.write, rel))
+            n += len(rel)
+        entry = (self.cache.prepare(segments), n)
+        self._memo[sig] = entry
+        return entry
+
+    def emit_component_rows(self, comp: str, y_lo: int, y_hi: int, z_lo: int, z_hi: int) -> None:
+        segments, n = self._segments_for(comp, y_lo, y_hi, z_lo, z_hi)
+        self.cache.replay(segments, base=y_lo * self.nz + z_lo)
+        self.cells += (y_hi - y_lo) * (z_hi - z_lo)
+        c = SUBSTRATE_COUNTERS
+        c.jobs_replayed += 1
+        c.accesses_replayed += n
 
     @property
     def lups(self) -> float:

@@ -80,3 +80,23 @@ class TestSolveCommand:
         assert rc == 0
         out = capsys.readouterr().out
         assert "TiledTHIIM" in out and "converged" in out
+
+
+class TestBenchCommand:
+    def test_bench_plan_profile(self, capsys):
+        rc = main(["bench", "plan", "--grid", "48", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench plan: result" in out
+        assert "cumulative" in out  # pstats sort header
+
+    def test_bench_measure_profile(self, capsys):
+        rc = main(["bench", "measure", "--grid", "64", "--threads", "4", "--top", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Ordered by: cumulative time" in out
+        assert "substrate counters" in out
+
+    def test_bench_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nope"])

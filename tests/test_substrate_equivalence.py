@@ -1,0 +1,300 @@
+"""Equivalence property tests for the batched replay engines.
+
+The performance substrate has three interchangeable engines (see
+:mod:`repro.machine.measure`): the reference per-access ``LRUCache``
+loop, the pure-Python ``BatchLRU`` segment replay, and the compiled
+``NativeLRU`` kernel.  Every measured number in the figures flows
+through one of them, so the optimization contract is *byte-identical*
+``CacheStats`` on any access sequence -- which hypothesis asserts here,
+on random streams, random segment batches, and full randomized tiling
+plans, alongside the stream-memoization invariants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import TilingPlan
+from repro.machine import (
+    BatchLRU,
+    BatchStreamEmitter,
+    LRUCache,
+    StreamEmitter,
+    measure_sweep_code_balance,
+    measure_tiled_code_balance,
+)
+from repro.machine.measure import _interleave_band
+from repro.machine.native import MAX_KEY_SPACE, NativeLRU, native_available
+from repro.machine.spec import HASWELL_EP
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Chunk size as a function of key -- constant per chunk kind, like the
+#: real emitters (one size per array group).
+def _size_of(key: int) -> int:
+    return 64 * (1 + key % 3)
+
+
+def _stats_tuple(cache):
+    s = cache.stats
+    return (
+        s.read_hits,
+        s.read_misses,
+        s.write_hits,
+        s.write_misses,
+        s.writebacks,
+        s.mem_read_bytes,
+        s.mem_write_bytes,
+    )
+
+
+def _lru_keys(cache):
+    """Resident keys in LRU -> MRU order, any engine."""
+    if isinstance(cache, (LRUCache, BatchLRU)):
+        return list(cache._entries)
+    return cache.keys_lru_to_mru()
+
+
+def _fast_engines(capacity: float, key_space: int):
+    engines = [BatchLRU(capacity)]
+    if native_available() and key_space <= MAX_KEY_SPACE:
+        engines.append(NativeLRU(capacity, key_space))
+    return engines
+
+
+def _assert_same_state(cache, oracle):
+    assert _stats_tuple(cache) == _stats_tuple(oracle), type(cache).__name__
+    assert cache.used_bytes == oracle.used_bytes
+    assert len(cache) == len(oracle)
+    assert _lru_keys(cache) == _lru_keys(oracle)
+
+
+# ---------------------------------------------------------------------------
+# Random access streams
+# ---------------------------------------------------------------------------
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 40), st.booleans()), min_size=1, max_size=300
+    ),
+    capacity_chunks=st.integers(min_value=1, max_value=30),
+    epoch_at=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=60, **COMMON)
+def test_engines_match_reference_on_random_streams(
+    accesses, capacity_chunks, epoch_at
+):
+    """Per-access replay through every engine produces byte-identical
+    CacheStats, occupancy and recency order -- across a reset_stats epoch
+    and a final flush, exactly as the measurement campaigns use them."""
+    capacity = capacity_chunks * 64
+    oracle = LRUCache(capacity)
+    engines = _fast_engines(capacity, key_space=41)
+
+    def run(cache):
+        for i, (key, write) in enumerate(accesses):
+            if i == epoch_at:
+                cache.reset_stats()
+            cache.access(key, _size_of(key), write)
+
+    run(oracle)
+    for cache in engines:
+        run(cache)
+        _assert_same_state(cache, oracle)
+
+    oracle.flush()
+    for cache in engines:
+        cache.flush()
+        _assert_same_state(cache, oracle)
+
+
+@given(
+    segs=st.lists(
+        st.tuples(
+            st.integers(0, 3),  # prebase plane
+            st.booleans(),
+            st.lists(st.integers(0, 15), min_size=1, max_size=20),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    base=st.integers(0, 4),
+    capacity_chunks=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=60, **COMMON)
+def test_segment_replay_matches_per_access(segs, base, capacity_chunks):
+    """``replay(segments, base)`` is access-for-access identical to the
+    reference loop over ``prebase + base + rel`` keys."""
+    capacity = capacity_chunks * 64
+    segments = [
+        (plane * 16, _size_of(plane), write, rel) for plane, write, rel in segs
+    ]
+    oracle = LRUCache(capacity)
+    for prebase, size, write, rel in segments:
+        for r in rel:
+            oracle.access(prebase + base + r, size, write)
+
+    for cache in _fast_engines(capacity, key_space=4 * 16 + 4 + 16):
+        n = cache.replay(cache.prepare(segments), base=base)
+        assert n == sum(len(r) for _, _, _, r in segments)
+        _assert_same_state(cache, oracle)
+
+
+@given(
+    table=st.lists(
+        st.tuples(
+            st.integers(0, 3),
+            st.booleans(),
+            st.lists(st.integers(0, 15), min_size=1, max_size=12),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    jobs=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=20),
+    capacity_chunks=st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=60, **COMMON)
+def test_job_table_replay_matches_per_job(table, jobs, capacity_chunks):
+    """The shared-segment-table job batch (`replay_jobs`, one kernel call
+    for many jobs) equals replaying each job's table range one by one."""
+    if not native_available():
+        pytest.skip("native kernel unavailable")
+    capacity = capacity_chunks * 64
+    segments = [
+        (plane * 16, _size_of(plane), write, rel) for plane, write, rel in table
+    ]
+    n_seg = len(segments)
+    # Each job covers a random contiguous range of the table at a base.
+    job_ranges = []
+    for a, b in jobs:
+        lo, hi = sorted((a % (n_seg + 1), b % (n_seg + 1)))
+        job_ranges.append((lo, hi))
+    bases = [(a * 7 + b) % 16 for a, b in jobs]
+
+    oracle = LRUCache(capacity)
+    for (lo, hi), base in zip(job_ranges, bases):
+        for prebase, size, write, rel in segments[lo:hi]:
+            for r in rel:
+                oracle.access(prebase + base + r, size, write)
+
+    native = NativeLRU(capacity, key_space=4 * 16 + 16 + 16)
+    native.table_add(segments)
+    native.replay_jobs(
+        [lo for lo, _ in job_ranges], [hi for _, hi in job_ranges], bases
+    )
+    _assert_same_state(native, oracle)
+
+
+# ---------------------------------------------------------------------------
+# Full schedules: randomized tiling plans through the real emitters
+# ---------------------------------------------------------------------------
+
+
+def _random_plan(draw_dw, draw_k, draw_nz, draw_bz, draw_steps):
+    ny = draw_dw * draw_k
+    return TilingPlan.build(
+        ny=ny, nz=draw_nz, timesteps=draw_steps, dw=draw_dw, bz=draw_bz
+    )
+
+
+@given(
+    dw=st.sampled_from((2, 4, 6)),
+    k=st.integers(min_value=1, max_value=3),
+    nz=st.integers(min_value=2, max_value=12),
+    bz=st.integers(min_value=1, max_value=4),
+    steps=st.integers(min_value=1, max_value=6),
+    capacity_rows=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=25, **COMMON)
+def test_tiled_plan_streams_identical_across_engines(
+    dw, k, nz, bz, steps, capacity_rows
+):
+    """Every band of a randomized TilingPlan replayed through the batched
+    emitters yields the same CacheStats and LUP count as the reference
+    per-access emitter -- memoization, tile-congruence caching and the
+    native job batch included."""
+    plan = _random_plan(dw, k, nz, bz, steps)
+    nx = 5
+    capacity = capacity_rows * 16 * nx  # a few rows' worth
+
+    ref_cache = LRUCache(capacity)
+    ref = StreamEmitter(ref_cache, ny=plan.ny, nz=plan.nz, nx=nx)
+    for band in plan.bands:
+        ref.emit_jobs(_interleave_band(plan, band))
+
+    key_space = BatchStreamEmitter.key_space(plan.ny, plan.nz)
+    for cache in _fast_engines(capacity, key_space):
+        em = BatchStreamEmitter(cache, ny=plan.ny, nz=plan.nz, nx=nx)
+        for band in plan.bands:
+            em.emit_tiles_interleaved(plan.band_tiles(band), plan.bz)
+        assert _stats_tuple(cache) == _stats_tuple(ref_cache), type(cache).__name__
+        assert em.cells == ref.cells
+        assert em.lups == ref.lups
+
+
+@given(
+    dw=st.sampled_from((2, 4)),
+    k=st.integers(min_value=1, max_value=3),
+    nz=st.integers(min_value=2, max_value=10),
+    bz=st.integers(min_value=1, max_value=3),
+    steps=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, **COMMON)
+def test_memoized_streams_equal_freshly_generated(dw, k, nz, bz, steps):
+    """For every job of every tile of a randomized plan, the memoized
+    packed stream handed to the replay engine equals the one freshly
+    generated from the job -- memo hits can never alter the stream."""
+    plan = _random_plan(dw, k, nz, bz, steps)
+    em = BatchStreamEmitter(BatchLRU(1 << 20), ny=plan.ny, nz=plan.nz, nx=4)
+    for band in plan.bands:
+        for job in _interleave_band(plan, band):
+            memoized, n = em.segments_for(job)  # memo hit after 1st congruent job
+            fresh = tuple(em.raw_segments_for(job))
+            assert memoized == fresh
+            assert n == sum(len(s[3]) for s in fresh)
+            em.emit_job(job)
+
+
+# ---------------------------------------------------------------------------
+# Measurement campaigns on paper-like configurations
+# ---------------------------------------------------------------------------
+
+FIG_TILED_CONFIGS = [
+    # (nx, dw, bz, n_streams) -- Fig. 5/6-style MWD points.
+    (384, 8, 4, 5),
+    (384, 16, 2, 3),
+    (960, 4, 6, 10),
+    (384, 4, 1, 18),  # 1WD-style: one tile stream per thread
+]
+
+FIG_SWEEP_CONFIGS = [
+    # (nx, ny, block_y, threads)
+    (384, 400, None, 1),
+    (384, 400, 16, 4),
+]
+
+
+@pytest.mark.parametrize("nx,dw,bz,n_streams", FIG_TILED_CONFIGS)
+def test_measure_tiled_engines_agree(nx, dw, bz, n_streams):
+    ref = measure_tiled_code_balance(
+        HASWELL_EP, nx=nx, dw=dw, bz=bz, n_streams=n_streams, engine="reference"
+    )
+    for eng in ("batch", "native"):
+        got = measure_tiled_code_balance(
+            HASWELL_EP, nx=nx, dw=dw, bz=bz, n_streams=n_streams, engine=eng
+        )
+        assert got == ref, eng
+
+
+@pytest.mark.parametrize("nx,ny,block_y,threads", FIG_SWEEP_CONFIGS)
+def test_measure_sweep_engines_agree(nx, ny, block_y, threads):
+    ref = measure_sweep_code_balance(
+        HASWELL_EP, nx=nx, ny=ny, block_y=block_y, threads=threads, engine="reference"
+    )
+    for eng in ("batch", "native"):
+        got = measure_sweep_code_balance(
+            HASWELL_EP, nx=nx, ny=ny, block_y=block_y, threads=threads, engine=eng
+        )
+        assert got == ref, eng
