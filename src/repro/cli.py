@@ -1,12 +1,24 @@
 """Command-line interface.
 
-Five subcommands cover the library's workflows::
+Seven subcommands cover the library's workflows::
 
     repro solve    --preset absorber --grid 48 --wavelength 12 --tol 1e-5
     repro tune     --grid 384 --threads 18 --variant mwd
     repro figures  --which fig6 --out results/
     repro plan     --ny 64 --nz 64 --steps 16 --dw 8 --bz 4
     repro bench    tune --engine reference --top 20
+    repro counters --workload tiled --group MEM,CACHE
+    repro trace    --out trace.json --grid 192
+
+Observability switches:
+
+* ``--perf-group GROUP[,GROUP]`` on ``solve`` / ``tune`` / ``figures``
+  prints the simulated PMU's likwid-style counter tables after the run;
+* ``REPRO_TRACE=path.json`` records a structured trace of any command
+  and writes Chrome-trace JSON (``chrome://tracing`` / Perfetto) plus a
+  JSONL sibling on exit;
+* ``repro figures --which drift`` runs the model-vs-measured drift gate
+  (exit code 3 when a point drifts beyond the budget).
 
 ``repro`` is installed as a console script; :func:`main` accepts an
 ``argv`` list so the tests can drive it in-process.
@@ -43,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--bz", type=int, default=2)
     s.add_argument("--save", metavar="FILE.npz", help="checkpoint the final fields")
     s.add_argument("--vtk", metavar="FILE.vtk", help="export |E|,|H| for visualization")
+    _add_perf_group(s)
 
     t = sub.add_parser("tune", help="auto-tune blocking parameters on the machine model")
     t.add_argument("--grid", type=int, default=384)
@@ -52,13 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pin the thread-group size (kWD)")
     t.add_argument("--bandwidth", type=float, default=None,
                    help="override the socket bandwidth in GB/s")
+    _add_perf_group(t)
 
     f = sub.add_parser("figures", help="regenerate paper exhibits")
-    f.add_argument("--which", choices=("section3", "fig5", "fig6", "fig7", "fig8", "ablations"),
+    f.add_argument("--which",
+                   choices=("section3", "fig5", "fig6", "fig7", "fig8",
+                            "ablations", "drift"),
                    default="section3")
     f.add_argument("--out", default=None, help="directory for JSON artifacts")
     f.add_argument("--quick", action="store_true",
                    help="reduced sweeps (for smoke testing)")
+    _add_perf_group(f)
 
     pl = sub.add_parser("plan", help="build + validate a tiling plan")
     pl.add_argument("--ny", type=int, required=True)
@@ -78,7 +95,35 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, help="replay engine (default: process setting)")
     b.add_argument("--top", type=int, default=20,
                    help="hotspot lines to print (default 20)")
+
+    c = sub.add_parser(
+        "counters", help="simulated PMU readout (the likwid-perfctr substitute)"
+    )
+    c.add_argument("--workload", choices=("tiled", "sweep", "both"), default="both",
+                   help="which measurement campaign to run through the marker regions")
+    c.add_argument("--grid", type=int, default=384)
+    c.add_argument("--group", default="ALL",
+                   help="counter groups to print: MEM, CACHE, WORK, or ALL "
+                        "(comma-separated)")
+    c.add_argument("--engine", choices=("reference", "batch", "native", "auto"),
+                   default=None, help="replay engine (default: process setting)")
+    c.add_argument("--json", action="store_true",
+                   help="emit the raw samples as JSON instead of tables")
+
+    tr = sub.add_parser(
+        "trace", help="record a structured trace of a small tuned run"
+    )
+    tr.add_argument("--out", default="trace.json",
+                    help="Chrome-trace output path (JSONL written next to it)")
+    tr.add_argument("--grid", type=int, default=192)
+    tr.add_argument("--threads", type=int, default=18)
     return p
+
+
+def _add_perf_group(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--perf-group", default=None, metavar="GROUP[,GROUP]",
+                    help="print simulated PMU counter groups after the run "
+                         "(MEM, CACHE, WORK, or ALL)")
 
 
 def _cmd_solve(args) -> int:
@@ -137,6 +182,18 @@ def _cmd_solve(args) -> int:
     if args.vtk:
         from .io import export_vtk
         print(f"vtk -> {export_vtk(solver.fields, args.vtk)}")
+    if args.perf_group:
+        # The solver runs real kernels, not the cache model, so only the
+        # WORK group has nonzero events: synthesize it from the step count.
+        from .machine.pmu import GLOBAL_PMU, PerfSample
+
+        cells = grid.nz * grid.ny * grid.nx
+        GLOBAL_PMU.add_sample("solve", PerfSample(
+            cells=2 * result.iterations * cells,
+            lups=float(result.iterations) * cells,
+        ))
+        print()
+        print(GLOBAL_PMU.report(args.perf_group, regions=["solve"]))
     return 0 if result.converged else 2
 
 
@@ -159,13 +216,52 @@ def _cmd_tune(args) -> int:
         print("no feasible configuration")
         return 2
     print(point.describe())
+    _print_perf_groups(args)
     return 0
+
+
+def _print_perf_groups(args) -> None:
+    """Shared ``--perf-group`` epilogue: likwid-style region tables."""
+    if getattr(args, "perf_group", None):
+        from .machine.pmu import GLOBAL_PMU
+
+        print()
+        print(GLOBAL_PMU.report(args.perf_group))
+
+
+def _save_figure_json(args, name: str, data) -> None:
+    import os
+
+    from . import experiments as ex
+
+    path = os.path.join(args.out, f"{name}.json")
+    ex.save_json(data, path)
+    print(f"saved -> {path}")
+
+
+def _cmd_drift(args) -> int:
+    """The model-vs-measured drift gate (``figures --which drift``)."""
+    from . import experiments as ex
+
+    rep = ex.fig5_drift_report()
+    print(ex.format_table(
+        rep.rows,
+        title=f"Fig. 5 drift: PMU-measured vs pinned baseline "
+              f"(budget {rep.budget:.1%})",
+    ))
+    status = "OK" if rep.ok else "FAIL"
+    print(f"drift gate: {status} (worst {rep.worst:.2f}%, budget {rep.budget:.1%})")
+    if args.out:
+        _save_figure_json(args, "drift", rep.to_json())
+    return 0 if rep.ok else 3
 
 
 def _cmd_figures(args) -> int:
     from . import experiments as ex
 
     quick = args.quick
+    if args.which == "drift":
+        return _cmd_drift(args)
     if args.which == "section3":
         rows = ex.section3_table()
         title = "Section III"
@@ -193,11 +289,15 @@ def _cmd_figures(args) -> int:
         title = "Ablations"
     print(ex.format_table(rows, title=title))
     if args.out:
-        import os
-        path = os.path.join(args.out, f"{args.which}.json")
-        ex.save_json(rows, path)
-        print(f"saved -> {path}")
-    return 0
+        _save_figure_json(args, args.which, rows)
+    rc = 0
+    if args.which == "fig5" and not quick:
+        # The fig5 sweep just measured every pinned drift point (and the
+        # memoization keeps them warm), so the gate is nearly free here.
+        print()
+        rc = _cmd_drift(args)
+    _print_perf_groups(args)
+    return rc
 
 
 def _cmd_plan(args) -> int:
@@ -303,10 +403,64 @@ def _cmd_bench(args) -> int:
     snap = SUBSTRATE_COUNTERS.snapshot()
     if snap["jobs_replayed"]:
         print(f"substrate counters: {snap}")
+    sections = SUBSTRATE_COUNTERS.sections_by_time()
+    if sections:
+        print("timed sections (most expensive first):")
+        for name, secs in sections:
+            print(f"  {name:<24} {secs * 1e3:10.2f} ms")
+    return 0
+
+
+def _cmd_counters(args) -> int:
+    import json
+    import os
+
+    from .machine import measure
+    from .machine.pmu import GLOBAL_PMU
+    from .machine.spec import HASWELL_EP
+
+    if args.engine:
+        os.environ["REPRO_STREAM_ENGINE"] = args.engine
+    # Cold-start so the marker regions actually fire (memoized results
+    # skip the replay, and with it the region enter/exit).
+    measure._measure_tiled_cached.cache_clear()
+    measure._measure_sweep_cached.cache_clear()
+    GLOBAL_PMU.reset()
+
+    n = args.grid
+    if args.workload in ("tiled", "both"):
+        measure.measure_tiled_code_balance(HASWELL_EP, nx=n, dw=8, bz=9, n_streams=1)
+    if args.workload in ("sweep", "both"):
+        measure.measure_sweep_code_balance(HASWELL_EP, nx=n, ny=n, block_y=16)
+
+    if args.json:
+        print(json.dumps(GLOBAL_PMU.to_json(), indent=2, sort_keys=True))
+    else:
+        print(GLOBAL_PMU.report(args.group))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .core import tracing
+    from .core.autotuner import tune_tiled
+    from .machine import HASWELL_EP
+
+    _clear_substrate_caches()
+    tracing.start_trace(args.out)
+    point = tune_tiled(HASWELL_EP, args.grid, args.threads)
+    rec, written = tracing.stop_trace()
+    if point is not None:
+        print(point.describe())
+    print(f"trace: {len(rec)} events " +
+          " ".join(f"{k}={v}" for k, v in rec.summary().items()))
+    for w in written:
+        print(f"trace -> {w}")
     return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
@@ -314,8 +468,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figures": _cmd_figures,
         "plan": _cmd_plan,
         "bench": _cmd_bench,
+        "counters": _cmd_counters,
+        "trace": _cmd_trace,
     }
-    return handlers[args.command](args)
+    trace_path = os.environ.get("REPRO_TRACE")
+    rec = None
+    if trace_path:
+        from .core import tracing
+        rec = tracing.start_trace(trace_path)
+    try:
+        return handlers[args.command](args)
+    finally:
+        if rec is not None:
+            from .core import tracing
+            if tracing.active() is rec:
+                _, written = tracing.stop_trace()
+                for w in written:
+                    print(f"trace -> {w}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -51,9 +51,11 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, List, Sequence, Tuple
 
+from ..machine.counters import SUBSTRATE_COUNTERS, timed_section
 from ..machine.measure import measure_sweep_code_balance, measure_tiled_code_balance
 from ..machine.simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
 from ..machine.spec import MachineSpec
+from . import tracing
 from .models import cache_block_size, max_diamond_width
 from .plan import TilingPlan
 from .threadgroups import ThreadGroupConfig, divisors, enumerate_tg_configs
@@ -124,12 +126,25 @@ def _tune_workers() -> int:
         return 1
 
 
+def _score_with_counters(item):
+    """Worker-side wrapper: score one candidate and ship the substrate
+    telemetry it generated back with the result.  The fork child counts
+    in its copy-on-write :data:`SUBSTRATE_COUNTERS`; resetting before the
+    call makes the snapshot a per-candidate delta the parent can merge."""
+    fn, cand = item
+    SUBSTRATE_COUNTERS.reset()
+    point = fn(cand)
+    return point, SUBSTRATE_COUNTERS.snapshot()
+
+
 def _pmap(fn: Callable, candidates: Sequence) -> List:
     """Score candidates, fanning out over a fork pool when configured.
 
     ``Pool.map`` returns results in submission order, and the callers
     merge with a strict ``>`` in that order, so the selected winner is
     identical to the serial search no matter how many workers run.
+    Worker telemetry (replayed jobs, memo hits, section times) rides back
+    with each result and is merged into the parent's counters.
     """
     workers = _tune_workers()
     if workers <= 1 or len(candidates) < 4:
@@ -138,7 +153,10 @@ def _pmap(fn: Callable, candidates: Sequence) -> List:
 
     ctx = mp.get_context("fork")
     with ctx.Pool(min(workers, len(candidates))) as pool:
-        return pool.map(fn, candidates)
+        scored = pool.map(_score_with_counters, [(fn, c) for c in candidates])
+    for _, snap in scored:
+        SUBSTRATE_COUNTERS.merge(snap)
+    return [point for point, _ in scored]
 
 
 # -- persistent result cache --------------------------------------------------
@@ -222,13 +240,19 @@ def _cache_put(path: str | None, point: TunedPoint | None) -> None:
 
 def _score_spatial(cand) -> TunedPoint:
     spec, machine, grid_n, threads, block_y = cand
-    traffic = measure_sweep_code_balance(
-        spec, nx=grid_n, ny=grid_n, block_y=block_y, threads=threads
-    )
-    res = simulate_sweep(
-        machine, threads, traffic.bytes_per_lup, lups=grid_lups(grid_n),
-        label=f"spatial by={block_y}",
-    )
+    with timed_section("tune.score"), tracing.span(
+        f"candidate spatial by={block_y}", "autotune",
+        args={"variant": "spatial", "grid": grid_n, "threads": threads,
+              "block_y": block_y},
+    ) as sp:
+        traffic = measure_sweep_code_balance(
+            spec, nx=grid_n, ny=grid_n, block_y=block_y, threads=threads
+        )
+        res = simulate_sweep(
+            machine, threads, traffic.bytes_per_lup, lups=grid_lups(grid_n),
+            label=f"spatial by={block_y}",
+        )
+        sp.set(mlups=round(res.mlups, 1), code_balance=round(traffic.bytes_per_lup, 1))
     return TunedPoint(
         variant="spatial", threads=threads, result=res,
         code_balance=traffic.bytes_per_lup, block_y=block_y,
@@ -249,9 +273,12 @@ def tune_spatial(spec: MachineSpec, grid_n: int, threads: int) -> TunedPoint:
         if block_y <= grid_n
     ]
     best: TunedPoint | None = None
-    for point in _pmap(_score_spatial, candidates):
-        if best is None or point.mlups > best.mlups:
-            best = point
+    with tracing.span(f"tune_spatial g={grid_n} t={threads}", "autotune",
+                      args={"grid": grid_n, "threads": threads,
+                            "candidates": len(candidates)}):
+        for point in _pmap(_score_spatial, candidates):
+            if best is None or point.mlups > best.mlups:
+                best = point
     assert best is not None
     _cache_put(path, best)
     return best
@@ -279,16 +306,23 @@ def _score_tiled(cand) -> TunedPoint:
     (spec, machine, grid_n, threads, label, s, n_groups, bz, dw, cfg,
      sim_steps_factor) = cand
     nx = ny = nz = grid_n
-    traffic = measure_tiled_code_balance(
-        spec, nx=nx, dw=dw, bz=bz, n_streams=n_groups
-    )
-    plan = TilingPlan.build(
-        ny=ny, nz=nz, timesteps=max(sim_steps_factor * dw, 8), dw=dw, bz=bz
-    )
-    res = simulate_tiled(
-        machine, plan, nx=nx, tg_config=cfg,
-        code_balance=traffic.bytes_per_lup,
-    )
+    with timed_section("tune.score"), tracing.span(
+        f"candidate {label} Dw={dw} Bz={bz} TG={cfg.label()}", "autotune",
+        args={"variant": label, "grid": grid_n, "threads": threads,
+              "tg_size": s, "n_groups": n_groups, "dw": dw, "bz": bz,
+              "tg": cfg.label()},
+    ) as sp:
+        traffic = measure_tiled_code_balance(
+            spec, nx=nx, dw=dw, bz=bz, n_streams=n_groups
+        )
+        plan = TilingPlan.build(
+            ny=ny, nz=nz, timesteps=max(sim_steps_factor * dw, 8), dw=dw, bz=bz
+        )
+        res = simulate_tiled(
+            machine, plan, nx=nx, tg_config=cfg,
+            code_balance=traffic.bytes_per_lup,
+        )
+        sp.set(mlups=round(res.mlups, 1), code_balance=round(traffic.bytes_per_lup, 1))
     return TunedPoint(
         variant=label, threads=threads, result=res,
         code_balance=traffic.bytes_per_lup,
@@ -363,9 +397,14 @@ def tune_tiled(
         spec, grid_n, threads, tg_size, variant, sim_steps_factor
     )
     best: TunedPoint | None = None
-    for point in _pmap(_score_tiled, candidates):
-        if best is None or point.mlups > best.mlups:
-            best = point
+    with tracing.span(
+        f"tune_tiled g={grid_n} t={threads} tg={tg_size or 'MWD'}", "autotune",
+        args={"grid": grid_n, "threads": threads, "tg_size": tg_size,
+              "variant": variant, "candidates": len(candidates)},
+    ):
+        for point in _pmap(_score_tiled, candidates):
+            if best is None or point.mlups > best.mlups:
+                best = point
     _cache_put(path, best)
     return best
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..fdfd.coefficients import CoefficientSet
 from ..fdfd.fields import FieldState
 from ..fdfd.kernels import update_e, update_h
+from . import tracing
 from .plan import TileIndex, TilingPlan
 from .wavefront import RowJob
 
@@ -63,15 +64,24 @@ class TiledExecutor:
         self.jobs_done += 1
 
     def execute_tile(self, idx: TileIndex) -> None:
-        for job in self.plan.tile_jobs(idx):
-            self.execute_job(job)
+        lups0 = self.lups_done
+        with tracing.span(f"tile t={idx[0]} r={idx[1]}", "exec.tile") as sp:
+            for job in self.plan.tile_jobs(idx):
+                self.execute_job(job)
+            sp.set(lups=self.lups_done - lups0)
 
     def run(self, order: Sequence[TileIndex] | None = None) -> FieldState:
         """Execute the whole plan (optionally in a custom tile order)."""
         if order is None:
             order = self.plan.fifo_order()
-        for idx in order:
-            self.execute_tile(idx)
+        p = self.plan
+        with tracing.span(
+            f"tiled run ny={p.ny} nz={p.nz} T={p.timesteps}", "exec.run",
+            args={"ny": p.ny, "nz": p.nz, "timesteps": p.timesteps,
+                  "dw": p.dw, "bz": p.bz, "tiles": len(p.tiles)},
+        ):
+            for idx in order:
+                self.execute_tile(idx)
         return self.fields
 
     def run_interleaved(self, rng: np.random.Generator) -> FieldState:

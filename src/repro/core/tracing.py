@@ -1,0 +1,275 @@
+"""Structured trace recorder (Chrome tracing / Perfetto + JSONL).
+
+Records spans for wavefront steps, diamond tiles, measurement phases,
+auto-tuner candidates and the DES thread-group schedule, and writes them
+in two formats at once:
+
+* **Chrome trace format** -- a ``{"traceEvents": [...]}`` JSON loadable
+  in ``chrome://tracing`` or https://ui.perfetto.dev; wall-clock spans
+  live in the "wall clock" process, each discrete-event simulation gets
+  its own process whose thread lanes are the simulated thread groups.
+* **JSONL** -- one structured event object per line (schema below), the
+  machine-readable form CI archives and tests validate.
+
+Activation
+----------
+Tracing is off by default and costs one module-attribute load plus a
+``None`` check per instrumentation site when disabled.  Enable either
+programmatically::
+
+    from repro.core import tracing
+    tracing.start_trace("run.json")
+    ...             # instrumented code records spans
+    tracing.stop_trace()   # writes run.json (Chrome) + run.jsonl
+
+or by environment: ``REPRO_TRACE=path.json`` makes the ``repro`` CLI
+trace the whole command and write both files on exit.
+
+JSONL schema
+------------
+Every line is one JSON object with a ``type`` key:
+
+* ``{"type": "meta", "kind": "process_name"|"thread_name", "pid": int,
+  "tid": int, "name": str}``
+* ``{"type": "span", "name": str, "cat": str, "ts_us": float,
+  "dur_us": float, "pid": int, "tid": int, "args": {...}}``
+* ``{"type": "instant", "name": str, "cat": str, "ts_us": float,
+  "pid": int, "tid": int, "args": {...}}``
+* ``{"type": "counter", "name": str, "ts_us": float, "pid": int,
+  "values": {series: number}}``
+
+Timestamps are microseconds; wall-clock events are relative to recorder
+start, simulated events to their simulation's t=0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "TraceRecorder",
+    "active",
+    "enabled",
+    "start_trace",
+    "stop_trace",
+    "span",
+    "WALL_PID",
+]
+
+#: The wall-clock process id in the trace (simulations allocate from 2).
+WALL_PID = 1
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open wall-clock span; appended to the recorder on exit."""
+
+    __slots__ = ("_rec", "name", "cat", "tid", "args", "_t0")
+
+    def __init__(self, rec: "TraceRecorder", name: str, cat: str, tid: int, args):
+        self._rec = rec
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.args = dict(args) if args else {}
+        self._t0 = rec.now_us()
+
+    def set(self, **args) -> None:
+        """Attach result arguments discovered while the span is open."""
+        self.args.update(args)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        rec = self._rec
+        rec.complete(self.name, self.cat, self._t0, rec.now_us() - self._t0,
+                     pid=WALL_PID, tid=self.tid, args=self.args or None)
+        return False
+
+
+class TraceRecorder:
+    """In-memory event buffer with Chrome-trace and JSONL writers."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._wall0 = time.perf_counter()
+        self._events: List[dict] = []
+        self._meta: List[dict] = []
+        self._next_pid = WALL_PID + 1
+        self._set_name("process_name", WALL_PID, 0, "wall clock")
+
+    # -- clocks / processes ----------------------------------------------------
+
+    def now_us(self) -> float:
+        return (time.perf_counter() - self._wall0) * 1e6
+
+    def _set_name(self, kind: str, pid: int, tid: int, name: str) -> None:
+        self._meta.append({"kind": kind, "pid": pid, "tid": tid, "name": name})
+
+    def new_process(self, name: str) -> int:
+        """Allocate a trace process (one per DES run) and label it."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self._set_name("process_name", pid, 0, name)
+        return pid
+
+    def name_thread(self, pid: int, tid: int, name: str) -> None:
+        self._set_name("thread_name", pid, tid, name)
+
+    # -- event emission --------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", tid: int = 0, args=None) -> _Span:
+        """Open a wall-clock span (use as a context manager)."""
+        return _Span(self, name, cat, tid, args)
+
+    def complete(self, name: str, cat: str, ts_us: float, dur_us: float,
+                 pid: int = WALL_PID, tid: int = 0, args=None) -> None:
+        """Record a finished span at explicit timestamps (DES spans pass
+        simulated time here)."""
+        ev = {"type": "span", "name": name, "cat": cat, "ts_us": ts_us,
+              "dur_us": dur_us, "pid": pid, "tid": tid}
+        if args:
+            ev["args"] = args
+        self._events.append(ev)
+
+    def instant(self, name: str, cat: str = "", ts_us: Optional[float] = None,
+                pid: int = WALL_PID, tid: int = 0, args=None) -> None:
+        ev = {"type": "instant", "name": name, "cat": cat,
+              "ts_us": self.now_us() if ts_us is None else ts_us,
+              "pid": pid, "tid": tid}
+        if args:
+            ev["args"] = args
+        self._events.append(ev)
+
+    def counter(self, name: str, values: Dict[str, float],
+                ts_us: Optional[float] = None, pid: int = WALL_PID) -> None:
+        self._events.append({"type": "counter", "name": name,
+                             "ts_us": self.now_us() if ts_us is None else ts_us,
+                             "pid": pid, "values": dict(values)})
+
+    # -- readout ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per category (spans/instants) -- the CLI digest."""
+        out: Dict[str, int] = {}
+        for ev in self._events:
+            key = ev.get("cat") or ev["type"]
+            out[key] = out.get(key, 0) + 1
+        return dict(sorted(out.items()))
+
+    def chrome_events(self) -> List[dict]:
+        out: List[dict] = []
+        for m in self._meta:
+            out.append({"name": m["kind"], "ph": "M", "pid": m["pid"],
+                        "tid": m["tid"], "args": {"name": m["name"]}})
+        for ev in self._events:
+            if ev["type"] == "span":
+                ch = {"name": ev["name"], "cat": ev["cat"] or "default",
+                      "ph": "X", "ts": ev["ts_us"], "dur": ev["dur_us"],
+                      "pid": ev["pid"], "tid": ev["tid"]}
+            elif ev["type"] == "instant":
+                ch = {"name": ev["name"], "cat": ev["cat"] or "default",
+                      "ph": "i", "ts": ev["ts_us"], "s": "t",
+                      "pid": ev["pid"], "tid": ev["tid"]}
+            else:  # counter
+                ch = {"name": ev["name"], "ph": "C", "ts": ev["ts_us"],
+                      "pid": ev["pid"], "tid": 0, "args": ev["values"]}
+            if "args" in ev and ev["type"] != "counter":
+                ch["args"] = ev["args"]
+            out.append(ch)
+        return out
+
+    def dump_chrome(self, path: str) -> str:
+        """Write Chrome trace format (open in chrome://tracing / Perfetto)."""
+        doc = {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+        _ensure_parent(path)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def dump_jsonl(self, path: str) -> str:
+        """Write the structured JSONL form (one event object per line)."""
+        _ensure_parent(path)
+        with open(path, "w", encoding="utf-8") as f:
+            for m in self._meta:
+                f.write(json.dumps({"type": "meta", **m}) + "\n")
+            for ev in self._events:
+                f.write(json.dumps(ev) + "\n")
+        return path
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def jsonl_path_for(path: str) -> str:
+    """The JSONL sibling of a Chrome-trace path (.json -> .jsonl)."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.jsonl" if ext.lower() == ".json" else f"{path}.jsonl"
+
+
+#: The active recorder, or None.  Instrumentation sites go through
+#: :func:`active` / :func:`span`, which cost a None check when disabled.
+_RECORDER: Optional[TraceRecorder] = None
+
+
+def active() -> Optional[TraceRecorder]:
+    return _RECORDER
+
+
+def enabled() -> bool:
+    return _RECORDER is not None
+
+
+def span(name: str, cat: str = "", tid: int = 0, args=None):
+    """A wall-clock span on the active recorder, or a shared no-op."""
+    rec = _RECORDER
+    if rec is None:
+        return _NULL_SPAN
+    return rec.span(name, cat, tid=tid, args=args)
+
+
+def start_trace(path: Optional[str] = None) -> TraceRecorder:
+    """Install a fresh recorder (replacing any active one)."""
+    global _RECORDER
+    _RECORDER = TraceRecorder(path)
+    return _RECORDER
+
+
+def stop_trace() -> Tuple[Optional[TraceRecorder], List[str]]:
+    """Deactivate tracing; if the recorder was given a path, write the
+    Chrome trace there and the JSONL next to it.  Returns the recorder
+    and the list of files written."""
+    global _RECORDER
+    rec, _RECORDER = _RECORDER, None
+    written: List[str] = []
+    if rec is not None and rec.path:
+        written.append(rec.dump_chrome(rec.path))
+        written.append(rec.dump_jsonl(jsonl_path_for(rec.path)))
+    return rec, written

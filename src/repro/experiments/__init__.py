@@ -1,5 +1,6 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
+from .drift import DriftReport, fig5_drift_report, pin_baseline
 from .figures import (
     GRIDS,
     ablation_intra_tile,
@@ -14,8 +15,11 @@ from .figures import (
 from .report import format_series, format_table, print_report, save_json
 
 __all__ = [
+    "DriftReport",
     "GRIDS",
     "ablation_intra_tile",
+    "fig5_drift_report",
+    "pin_baseline",
     "ablation_machine_balance",
     "ablation_thin_domain",
     "fig5_cache_model",

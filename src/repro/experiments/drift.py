@@ -1,0 +1,172 @@
+"""Model-vs-measured drift report (the observability regression gate).
+
+The analytic models (Eq. 11/12) and the cache-simulator measurements are
+two independent implementations of the same physics; this module compares
+them per Fig. 5 point and flags *drift*: a change in the measured value
+relative to a pinned expectation.
+
+Raw Eq. 12 is intentionally not the gate.  It assumes a perfectly
+fitting cache block, so the measured code balance legitimately deviates
+from it by -12% (fitting tiles: the LRU model also reuses across tile
+boundaries) up to +676% (thrashing tiles: Eq. 12 simply does not apply
+once ``C_s`` exceeds the L3, which is exactly what Fig. 5 demonstrates).
+Gating on that deviation would either never fire or always fire.
+
+Instead, ``drift_baseline.json`` pins the *expected measured* code
+balance per (D_w, B_z) point, captured from the deterministic LRU
+simulation at the time the baseline was pinned.  The drift of a point is
+``measured / expected - 1``; the substrate is deterministic, so any
+nonzero drift means a behavioural change in the measurement pipeline
+(cache model, stream emitters, replay engines, plan construction) and
+the gate trips at ``|drift| > budget`` (default 1%).
+
+The raw Eq. 12 deviation and the Eq. 11 cache-block prediction vs the
+PMU-measured L3 resident set stay in the report as informational
+columns -- they are the *physics* context for the pinned numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.models import cache_block_size, diamond_code_balance
+from ..machine.measure import measure_tiled_code_balance
+from ..machine.spec import HASWELL_EP, MachineSpec
+
+__all__ = [
+    "DriftReport",
+    "fig5_drift_report",
+    "pin_baseline",
+    "baseline_path",
+    "DRIFT_BUDGET",
+    "FIG5_POINTS",
+]
+
+#: Relative drift tolerance of the gate (1%).
+DRIFT_BUDGET = 0.01
+
+#: The pinned Fig. 5 sweep: (B_z, D_w) per point, grid 480^3, 1WD.
+FIG5_POINTS: Tuple[Tuple[int, int], ...] = tuple(
+    (bz, dw) for bz in (1, 6, 9) for dw in (4, 8, 12, 16)
+)
+
+FIG5_NX = 480
+
+
+def baseline_path() -> str:
+    """The committed baseline next to this module."""
+    return os.path.join(os.path.dirname(__file__), "drift_baseline.json")
+
+
+def _point_key(bz: int, dw: int) -> str:
+    return f"bz={bz},dw={dw}"
+
+
+def _measure_point(spec: MachineSpec, bz: int, dw: int) -> dict:
+    """One Fig. 5 point: model predictions and PMU-measured values."""
+    meas = measure_tiled_code_balance(spec, nx=FIG5_NX, dw=dw, bz=bz, n_streams=1)
+    perf = meas.perf
+    measured_bc = perf.code_balance if perf is not None else meas.bytes_per_lup
+    resident = perf.resident_bytes if perf is not None else 0.0
+    return {
+        "Bz": bz,
+        "Dw": dw,
+        "Bc_model": diamond_code_balance(dw),
+        "Bc_measured": measured_bc,
+        "Cs_model_bytes": cache_block_size(dw, bz, FIG5_NX),
+        "L3_resident_bytes": resident,
+    }
+
+
+def pin_baseline(spec: MachineSpec = HASWELL_EP, path: Optional[str] = None) -> str:
+    """(Re)generate the pinned baseline -- run only when a measured change
+    is *intended* and reviewed; CI gates against the committed file."""
+    doc = {
+        "grid_nx": FIG5_NX,
+        "budget": DRIFT_BUDGET,
+        "points": {
+            _point_key(bz, dw): _measure_point(spec, bz, dw)
+            for bz, dw in FIG5_POINTS
+        },
+    }
+    out = path or baseline_path()
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return out
+
+
+def load_baseline(path: Optional[str] = None) -> dict:
+    with open(path or baseline_path(), "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check."""
+
+    rows: List[dict]
+    budget: float
+
+    @property
+    def ok(self) -> bool:
+        return all(r["within_budget"] for r in self.rows)
+
+    @property
+    def worst(self) -> float:
+        """Largest absolute per-point drift, in percent."""
+        return max((abs(r["drift_pct"]) for r in self.rows), default=0.0)
+
+    def to_json(self) -> dict:
+        return {
+            "budget_pct": self.budget * 100.0,
+            "ok": self.ok,
+            "worst_drift_pct": self.worst,
+            "rows": self.rows,
+        }
+
+
+def fig5_drift_report(
+    spec: MachineSpec = HASWELL_EP,
+    budget: float = DRIFT_BUDGET,
+    baseline: Optional[dict] = None,
+) -> DriftReport:
+    """Measure every pinned Fig. 5 point and compare against the baseline.
+
+    Per-point columns:
+
+    * ``Bc_measured`` / ``Bc_expected`` / ``drift_pct`` -- the gate: the
+      PMU-measured code balance vs the pinned expectation.
+    * ``Bc_model`` / ``model_dev_pct`` -- informational: raw Eq. 12 and
+      how far the measurement legitimately sits from it.
+    * ``Cs_model_MiB`` / ``L3_resident_MiB`` -- informational: the Eq. 11
+      cache-block prediction vs the PMU-observed L3 resident set.
+    """
+    base = baseline if baseline is not None else load_baseline()
+    points: Dict[str, dict] = base["points"]
+    rows: List[dict] = []
+    for bz, dw in FIG5_POINTS:
+        cur = _measure_point(spec, bz, dw)
+        exp = points[_point_key(bz, dw)]
+        expected = float(exp["Bc_measured"])
+        measured = float(cur["Bc_measured"])
+        drift = measured / expected - 1.0 if expected else 0.0
+        model = float(cur["Bc_model"])
+        rows.append(
+            {
+                "Bz": bz,
+                "Dw": dw,
+                "Bc_model": round(model, 1),
+                "Bc_measured": round(measured, 3),
+                "Bc_expected": round(expected, 3),
+                "drift_pct": round(drift * 100.0, 4),
+                "within_budget": abs(drift) <= budget,
+                "model_dev_pct": round((measured / model - 1.0) * 100.0, 1),
+                "Cs_model_MiB": round(cur["Cs_model_bytes"] / 2**20, 2),
+                "L3_resident_MiB": round(cur["L3_resident_bytes"] / 2**20, 2),
+            }
+        )
+    return DriftReport(rows=rows, budget=budget)

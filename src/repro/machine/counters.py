@@ -10,15 +10,29 @@ anecdotes.
 
 Counting is deliberately coarse (one increment per *job*, never per
 access) so the counters themselves stay out of the hot loop.
+
+Multiprocessing: each ``REPRO_TUNE_WORKERS`` fork-pool worker counts in
+its own copy-on-write copy of :data:`SUBSTRATE_COUNTERS`; the autotuner
+ships per-candidate snapshots back with the results and folds them into
+the parent with :meth:`SubstrateCounters.merge`.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
+from typing import Mapping
 
 __all__ = ["SubstrateCounters", "SUBSTRATE_COUNTERS", "timed_section"]
+
+#: Integer counter fields summed by :meth:`SubstrateCounters.merge`.
+_COUNTER_FIELDS = (
+    "jobs_replayed",
+    "accesses_replayed",
+    "stream_memo_hits",
+    "stream_memo_misses",
+)
 
 
 @dataclass
@@ -35,6 +49,9 @@ class SubstrateCounters:
     stream_memo_misses: int = 0
     #: Wall-clock seconds spent inside named sections (see timed_section).
     section_seconds: dict = field(default_factory=dict)
+    #: Open nesting depth per section name (bookkeeping for re-entrant
+    #: timed_section; never serialized).
+    _section_depth: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def stream_memo_rate(self) -> float:
@@ -42,30 +59,57 @@ class SubstrateCounters:
         return self.stream_memo_hits / n if n else 0.0
 
     def snapshot(self) -> dict:
-        d = asdict(self)
+        d = {f: getattr(self, f) for f in _COUNTER_FIELDS}
+        d["section_seconds"] = dict(self.section_seconds)
         d["stream_memo_rate"] = round(self.stream_memo_rate, 4)
         return d
 
+    def sections_by_time(self) -> list:
+        """``(name, seconds)`` pairs, most expensive first."""
+        return sorted(self.section_seconds.items(), key=lambda kv: -kv[1])
+
+    def merge(self, other: "SubstrateCounters | Mapping") -> None:
+        """Fold another counter set (or a :meth:`snapshot` dict) into this
+        one -- how fork-pool workers' telemetry reaches the parent."""
+        d = other.snapshot() if isinstance(other, SubstrateCounters) else other
+        for f in _COUNTER_FIELDS:
+            setattr(self, f, getattr(self, f) + int(d.get(f, 0)))
+        for name, secs in (d.get("section_seconds") or {}).items():
+            self.section_seconds[name] = self.section_seconds.get(name, 0.0) + secs
+
     def reset(self) -> None:
-        self.jobs_replayed = 0
-        self.accesses_replayed = 0
-        self.stream_memo_hits = 0
-        self.stream_memo_misses = 0
+        for f in _COUNTER_FIELDS:
+            setattr(self, f, 0)
         self.section_seconds = {}
+        self._section_depth = {}
 
 
 #: Process-global counters (the substrate is single-threaded per process;
-#: multiprocessing tuner workers each count in their own copy).
+#: multiprocessing tuner workers each count in their own copy and are
+#: merged back by the autotuner).
 SUBSTRATE_COUNTERS = SubstrateCounters()
 
 
 @contextmanager
 def timed_section(name: str, counters: SubstrateCounters = SUBSTRATE_COUNTERS):
-    """Accumulate the wall-clock of a code section under ``name``."""
+    """Accumulate the wall-clock of a code section under ``name``.
+
+    Re-entrant: when sections of the same name nest (recursive callers,
+    a measurement inside a tuner sweep), only the outermost frame
+    accumulates, so nested use never double-counts.  Exception-safe: the
+    time up to the raise is still recorded on unwind.
+    """
+    depth = counters._section_depth
+    depth[name] = depth.get(name, 0) + 1
     t0 = time.perf_counter()
     try:
         yield
     finally:
-        counters.section_seconds[name] = (
-            counters.section_seconds.get(name, 0.0) + time.perf_counter() - t0
-        )
+        remaining = depth.get(name, 1) - 1
+        if remaining > 0:
+            depth[name] = remaining
+        else:
+            depth.pop(name, None)
+            counters.section_seconds[name] = (
+                counters.section_seconds.get(name, 0.0) + time.perf_counter() - t0
+            )

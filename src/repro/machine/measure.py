@@ -44,10 +44,13 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterator, List
 
+from ..core import tracing
 from ..core.plan import TilingPlan
 from ..core.wavefront import RowJob, tile_row_jobs, wavefront_width
 from .cache import BatchLRU, LRUCache
+from .counters import timed_section
 from .native import make_lru
+from .pmu import GLOBAL_PMU, PerfRegion, PerfSample
 from .spec import MachineSpec
 from .streams import (
     BatchComponentStreamEmitter,
@@ -106,6 +109,10 @@ class TrafficResult:
     lups: float
     cells: int
     hit_rate: float
+    #: Full PMU counter sample of the measured phase (all groups); see
+    #: :mod:`repro.machine.pmu`.  Compared fields above stay the
+    #: authoritative figure inputs; ``perf`` adds the per-event readout.
+    perf: PerfSample | None = None
 
     @property
     def bytes_per_lup(self) -> float:
@@ -193,18 +200,28 @@ def _measure_tiled_cached(
             emitter.emit_jobs(_interleave_band(plan, band))
 
     bands = plan.bands
-    emit_band(bands[0])  # warm-up
-    cache.reset_stats()
-    cells0 = emitter.cells
-    for band in bands[1 : 1 + measure_bands]:
-        emit_band(band)
+    region = PerfRegion("measure.tiled")
+    with timed_section("measure.tiled"), tracing.span(
+        f"measure.tiled dw={dw} bz={bz} nx={nx}", "measure",
+        args={"dw": dw, "bz": bz, "nx": nx, "n_streams": n_streams,
+              "engine": engine},
+    ):
+        with tracing.span("warmup band", "measure"):
+            emit_band(bands[0])  # warm-up
+        cache.reset_stats()
+        cells0 = emitter.cells
+        with region(cache, emitter), tracing.span("measured bands", "measure"):
+            for band in bands[1 : 1 + measure_bands]:
+                emit_band(band)
     stats = cache.stats
     cells = emitter.cells - cells0
+    GLOBAL_PMU.add_sample("measure.tiled", region.sample)
     return TrafficResult(
         mem_bytes=float(stats.mem_bytes),
         lups=cells * nx / 2.0,
         cells=cells,
         hit_rate=stats.hit_rate,
+        perf=region.sample,
     )
 
 
@@ -288,15 +305,25 @@ def _measure_sweep_cached(
     cache, emitter = _make_component_emitter(
         engine, spec.usable_l3_bytes, ny=ny, nz=nz_sim, nx=nx
     )
-    _sweep_rows(emitter, ny, nz_sim, 1, block_y, threads)
-    cache.reset_stats()
-    cells0 = emitter.cells
-    _sweep_rows(emitter, ny, nz_sim, timesteps - 1, block_y, threads)
+    region = PerfRegion("measure.sweep")
+    with timed_section("measure.sweep"), tracing.span(
+        f"measure.sweep by={block_y} nx={nx}", "measure",
+        args={"nx": nx, "ny": ny, "block_y": block_y, "threads": threads,
+              "engine": engine},
+    ):
+        with tracing.span("warmup step", "measure"):
+            _sweep_rows(emitter, ny, nz_sim, 1, block_y, threads)
+        cache.reset_stats()
+        cells0 = emitter.cells
+        with region(cache, emitter), tracing.span("measured steps", "measure"):
+            _sweep_rows(emitter, ny, nz_sim, timesteps - 1, block_y, threads)
     stats = cache.stats
     cells = emitter.cells - cells0
+    GLOBAL_PMU.add_sample("measure.sweep", region.sample)
     return TrafficResult(
         mem_bytes=float(stats.mem_bytes),
         lups=cells * nx / 12.0,
         cells=cells,
         hit_rate=stats.hit_rate,
+        perf=region.sample,
     )

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from ..core import tracing
 from ..core.plan import TileIndex, TilingPlan
 from ..core.queue import TileQueue
 from ..core.threadgroups import ThreadGroupConfig
@@ -138,6 +139,7 @@ class _RunningTile:
     bytes_per_lup: float
     overhead_s: float  # fixed per-tile cost (sync + queue), paid up front
     key: TileIndex
+    start_s: float = 0.0  # simulated dispatch time (trace timeline)
 
 
 def simulate_tiled(
@@ -174,6 +176,18 @@ def simulate_tiled(
     total_lups = 0.0
     total_bytes = 0.0
 
+    # One trace process per simulation: thread lanes are the concurrent
+    # thread groups, timestamps are *simulated* seconds (as microseconds).
+    rec = tracing.active()
+    sim_pid = 0
+    if rec is not None:
+        sim_pid = rec.new_process(
+            f"DES {label or f'{n_groups}x{tg_config.label()}'} "
+            f"ny={plan.ny} nz={plan.nz} nx={nx}"
+        )
+        for g in range(n_groups):
+            rec.name_thread(sim_pid, g, f"thread group {g} ({s} threads)")
+
     fronts_z = -(-plan.nz // plan.bz)
 
     def tile_overhead(idx: TileIndex) -> float:
@@ -198,6 +212,7 @@ def simulate_tiled(
                     bytes_per_lup=code_balance,
                     overhead_s=tile_overhead(idx),
                     key=idx,
+                    start_s=now,
                 )
             )
         if not running:
@@ -232,6 +247,14 @@ def simulate_tiled(
             rt = running.pop(k)
             idle_groups.append(rt.group)
             queue.complete(rt.key)
+            if rec is not None:
+                t, r = rt.key
+                rec.complete(
+                    f"tile t={t} r={r}", "sim.tile",
+                    ts_us=rt.start_s * 1e6, dur_us=(now - rt.start_s) * 1e6,
+                    pid=sim_pid, tid=rt.group,
+                    args={"lups": rt.work_lups, "bytes_per_lup": rt.bytes_per_lup},
+                )
 
     mlups = total_lups / now / 1e6 if now > 0 else 0.0
     gbs = total_bytes / now / 1e9 if now > 0 else 0.0

@@ -96,7 +96,90 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "Ordered by: cumulative time" in out
         assert "substrate counters" in out
+        assert "timed sections (most expensive first):" in out
+        assert "measure.tiled" in out
+
+    def test_bench_section_times_sorted_descending(self, capsys):
+        rc = main(["bench", "tune", "--grid", "64", "--threads", "4", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        start = lines.index("timed sections (most expensive first):")
+        times = []
+        for line in lines[start + 1:]:
+            if not line.startswith("  "):
+                break
+            times.append(float(line.split()[-2]))
+        assert len(times) >= 2  # tune.score + measure.tiled at least
+        assert times == sorted(times, reverse=True)
 
     def test_bench_rejects_unknown_name(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench", "nope"])
+
+
+class TestCountersCommand:
+    def test_tiled_tables(self, capsys):
+        rc = main(["counters", "--workload", "tiled", "--grid", "96",
+                   "--group", "MEM,CACHE"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Region measure.tiled, Group MEM" in out
+        assert "Region measure.tiled, Group CACHE" in out
+        assert "Code balance [B/LUP]" in out
+        assert "Group WORK" not in out  # not requested
+
+    def test_both_workloads_json(self, capsys):
+        rc = main(["counters", "--workload", "both", "--grid", "64", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"measure.tiled", "measure.sweep"}
+        for sample in doc.values():
+            assert sample["lups"] > 0
+            assert sample["derived"]["code_balance_B_per_LUP"] > 0
+
+    def test_rejects_unknown_group(self):
+        with pytest.raises(ValueError, match="unknown perf group"):
+            main(["counters", "--workload", "tiled", "--grid", "64",
+                  "--group", "TLB"])
+
+
+class TestTraceCommand:
+    def test_writes_both_formats(self, tmp_path, capsys):
+        out_path = tmp_path / "tune.json"
+        rc = main(["trace", "--out", str(out_path), "--grid", "64",
+                   "--threads", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and f"trace -> {out_path}" in out
+        doc = json.load(open(out_path))
+        cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"autotune", "measure", "sim.tile"} <= cats
+        assert (tmp_path / "tune.jsonl").exists()
+
+
+class TestPerfGroupFlag:
+    def test_tune_perf_group(self, capsys):
+        from repro.machine import measure
+        from repro.machine.pmu import GLOBAL_PMU
+
+        measure._measure_tiled_cached.cache_clear()
+        GLOBAL_PMU.reset()
+        rc = main(["tune", "--grid", "96", "--threads", "4",
+                   "--perf-group", "MEM"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MWD@4t" in out
+        assert "Region measure.tiled, Group MEM" in out
+
+    def test_solve_perf_group_synthesizes_work(self, capsys):
+        from repro.machine.pmu import GLOBAL_PMU
+
+        GLOBAL_PMU.reset()
+        rc = main(["solve", "--preset", "vacuum", "--grid", "10",
+                   "--wavelength", "10", "--tol", "1e-4",
+                   "--max-steps", "1500", "--perf-group", "WORK"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Region solve, Group WORK" in out
+        assert "RETIRED_FLOPS" in out

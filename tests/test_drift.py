@@ -1,0 +1,88 @@
+"""Tests for the model-vs-measured drift gate.
+
+The pinned baseline captures the deterministic LRU measurement at pin
+time; drift must be exactly zero on an unchanged substrate, and the gate
+must trip when a point moves beyond the budget.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments.drift import (
+    DRIFT_BUDGET,
+    FIG5_POINTS,
+    DriftReport,
+    baseline_path,
+    fig5_drift_report,
+    load_baseline,
+    pin_baseline,
+)
+
+
+class TestBaseline:
+    def test_committed_baseline_covers_all_points(self):
+        base = load_baseline()
+        assert base["grid_nx"] == 480
+        assert len(base["points"]) == len(FIG5_POINTS) == 12
+        for bz, dw in FIG5_POINTS:
+            p = base["points"][f"bz={bz},dw={dw}"]
+            assert p["Bz"] == bz and p["Dw"] == dw
+            assert p["Bc_measured"] > 0
+
+    def test_pin_reproduces_committed_baseline(self, tmp_path):
+        """The substrate is deterministic: re-pinning must reproduce the
+        committed numbers exactly."""
+        out = pin_baseline(path=str(tmp_path / "pin.json"))
+        assert json.load(open(out)) == json.load(open(baseline_path()))
+
+
+class TestDriftReport:
+    def test_zero_drift_on_unchanged_substrate(self):
+        rep = fig5_drift_report()
+        assert rep.ok
+        assert rep.worst == 0.0
+        assert len(rep.rows) == 12
+        for r in rep.rows:
+            assert r["drift_pct"] == 0.0 and r["within_budget"]
+            assert r["Bc_measured"] == r["Bc_expected"]
+
+    def test_gate_trips_on_perturbed_expectation(self):
+        base = copy.deepcopy(load_baseline())
+        key = "bz=1,dw=4"
+        base["points"][key]["Bc_measured"] *= 1.02  # 2% > 1% budget
+        rep = fig5_drift_report(baseline=base)
+        assert not rep.ok
+        bad = [r for r in rep.rows if not r["within_budget"]]
+        assert len(bad) == 1
+        assert (bad[0]["Bz"], bad[0]["Dw"]) == (1, 4)
+        # measured/expected - 1 = 1/1.02 - 1 = -1.96% -> |worst| ~ 2%
+        assert 1.5 < rep.worst < 2.5
+
+    def test_budget_boundary_inclusive(self):
+        base = copy.deepcopy(load_baseline())
+        for p in base["points"].values():
+            p["Bc_measured"] *= 1.0 + DRIFT_BUDGET * 0.99
+        rep = fig5_drift_report(baseline=base)
+        assert rep.ok  # just inside the budget on every point
+
+    def test_to_json_shape(self):
+        rep = DriftReport(rows=[{"drift_pct": 0.5, "within_budget": True}],
+                          budget=0.01)
+        d = rep.to_json()
+        assert d["ok"] and d["budget_pct"] == 1.0
+        assert d["worst_drift_pct"] == 0.5
+        assert d["rows"] == rep.rows
+
+
+class TestDriftCli:
+    def test_figures_drift_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["figures", "--which", "drift", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "drift gate: OK" in out
+        doc = json.load(open(tmp_path / "drift.json"))
+        assert doc["ok"] and len(doc["rows"]) == 12

@@ -1,0 +1,144 @@
+"""Tests for substrate counter merging and re-entrant timed sections.
+
+Covers the fork-pool telemetry path: ``REPRO_TUNE_WORKERS`` workers
+count in copy-on-write copies of :data:`SUBSTRATE_COUNTERS`; per-
+candidate snapshots ride back with the results and are merged into the
+parent, so no telemetry is lost to process boundaries.
+"""
+
+import time
+
+import pytest
+
+from repro.machine.counters import (
+    SUBSTRATE_COUNTERS,
+    SubstrateCounters,
+    timed_section,
+)
+
+
+class TestMerge:
+    def test_merge_counters_object(self):
+        a = SubstrateCounters(jobs_replayed=2, accesses_replayed=10,
+                              stream_memo_hits=1, stream_memo_misses=3)
+        a.section_seconds["x"] = 0.5
+        b = SubstrateCounters(jobs_replayed=5, accesses_replayed=20,
+                              stream_memo_hits=4, stream_memo_misses=0)
+        b.section_seconds.update({"x": 0.25, "y": 1.0})
+        a.merge(b)
+        assert a.jobs_replayed == 7
+        assert a.accesses_replayed == 30
+        assert a.stream_memo_hits == 5 and a.stream_memo_misses == 3
+        assert a.section_seconds == {"x": 0.75, "y": 1.0}
+
+    def test_merge_snapshot_dict(self):
+        a = SubstrateCounters(jobs_replayed=1)
+        b = SubstrateCounters(jobs_replayed=2, stream_memo_hits=3)
+        b.section_seconds["replay"] = 0.125
+        a.merge(b.snapshot())
+        assert a.jobs_replayed == 3
+        assert a.stream_memo_hits == 3
+        assert a.section_seconds == {"replay": 0.125}
+
+    def test_snapshot_excludes_bookkeeping(self):
+        c = SubstrateCounters()
+        with timed_section("s", c):
+            pass
+        snap = c.snapshot()
+        assert set(snap) == {"jobs_replayed", "accesses_replayed",
+                             "stream_memo_hits", "stream_memo_misses",
+                             "section_seconds", "stream_memo_rate"}
+
+    def test_sections_by_time_sorted_descending(self):
+        c = SubstrateCounters()
+        c.section_seconds.update({"fast": 0.1, "slow": 2.0, "mid": 0.7})
+        assert [n for n, _ in c.sections_by_time()] == ["slow", "mid", "fast"]
+
+
+class TestTimedSection:
+    def test_nested_same_name_counts_once(self):
+        c = SubstrateCounters()
+        with timed_section("outer", c):
+            t0 = time.perf_counter()
+            with timed_section("outer", c):
+                time.sleep(0.02)
+            inner_elapsed = time.perf_counter() - t0
+            assert c.section_seconds.get("outer") is None  # still open
+        total = c.section_seconds["outer"]
+        # accumulated once, spanning the whole outer frame -- not doubled
+        assert total >= inner_elapsed
+        assert total < 2 * inner_elapsed + 0.05
+        assert c._section_depth == {}
+
+    def test_different_names_nest_independently(self):
+        c = SubstrateCounters()
+        with timed_section("a", c):
+            with timed_section("b", c):
+                pass
+        assert set(c.section_seconds) == {"a", "b"}
+        assert c.section_seconds["a"] >= c.section_seconds["b"]
+
+    def test_exception_still_records(self):
+        c = SubstrateCounters()
+        with pytest.raises(RuntimeError):
+            with timed_section("boom", c):
+                time.sleep(0.01)
+                raise RuntimeError("kaboom")
+        assert c.section_seconds["boom"] >= 0.01
+        assert c._section_depth == {}
+
+    def test_exception_inside_nested_unwinds_cleanly(self):
+        c = SubstrateCounters()
+        with pytest.raises(ValueError):
+            with timed_section("s", c):
+                with timed_section("s", c):
+                    raise ValueError
+        assert "s" in c.section_seconds
+        assert c._section_depth == {}
+
+    def test_reset_clears_depth(self):
+        c = SubstrateCounters()
+        with timed_section("s", c):
+            c.reset()
+        # The unwinding frame repopulates section_seconds after reset --
+        # acceptable; depth bookkeeping must not leak negative counts.
+        with timed_section("s", c):
+            pass
+        assert c._section_depth == {}
+
+
+class TestForkPoolTelemetry:
+    def test_worker_counters_reach_parent(self, monkeypatch):
+        """With REPRO_TUNE_WORKERS=2 the replay happens in fork children;
+        the merged parent counters must still see the jobs."""
+        from repro.core import autotuner
+        from repro.machine import measure, streams
+        from repro.machine.spec import HASWELL_EP
+
+        monkeypatch.setenv("REPRO_TUNE_WORKERS", "2")
+        monkeypatch.delenv("REPRO_TUNE_CACHE", raising=False)
+        autotuner.tune_tiled.cache_clear()
+        measure._measure_tiled_cached.cache_clear()
+        streams._RAW_SEGMENT_CACHE.clear()
+        SUBSTRATE_COUNTERS.reset()
+        point = autotuner.tune_tiled(HASWELL_EP, 64, 4)
+        assert point is not None
+        assert SUBSTRATE_COUNTERS.jobs_replayed > 0
+        assert SUBSTRATE_COUNTERS.accesses_replayed > 0
+        assert "tune.score" in SUBSTRATE_COUNTERS.section_seconds
+        # leave no cross-test contamination from the tuned lru_cache entry
+        autotuner.tune_tiled.cache_clear()
+
+    def test_serial_and_parallel_pick_same_winner(self, monkeypatch):
+        from repro.core import autotuner
+        from repro.machine.spec import HASWELL_EP
+
+        monkeypatch.delenv("REPRO_TUNE_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_TUNE_WORKERS", "1")
+        autotuner.tune_tiled.cache_clear()
+        serial = autotuner.tune_tiled(HASWELL_EP, 64, 4)
+        monkeypatch.setenv("REPRO_TUNE_WORKERS", "2")
+        autotuner.tune_tiled.cache_clear()
+        parallel = autotuner.tune_tiled(HASWELL_EP, 64, 4)
+        autotuner.tune_tiled.cache_clear()
+        assert serial == parallel
