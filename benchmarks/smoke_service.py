@@ -1,0 +1,126 @@
+"""CI smoke test for the solve service, end to end.
+
+Boots a real ``repro serve`` subprocess (ephemeral port, forked process
+workers), submits three jobs -- two unique plus one duplicate -- and
+asserts the serving contract:
+
+* the duplicate coalesces: 3 submissions, exactly 2 executions;
+* the tiled job gets its plan from the registry (tuned once);
+* the served solve is bit-identical to an in-process ``run_job`` of the
+  same spec (same SHA-256 field checksum, same every field).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SOLVE_SPEC = {"kind": "solve", "preset": "vacuum", "grid": 10,
+              "wavelength": 10.0, "tol": 1e-4, "max_steps": 30, "threads": 2}
+TILED_SPEC = {"kind": "solve", "preset": "absorber", "grid": 16,
+              "wavelength": 12.0, "tol": 1e-4, "max_steps": 30,
+              "tiled": True, "tuning": "registry", "threads": 2}
+
+
+def request(method: str, url: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=data, method=method,
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read() or b"{}")
+
+
+def wait_for(base: str, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while True:
+        status, doc = request("GET", f"{base}/jobs/{job_id}")
+        assert status == 200, f"GET /jobs/{job_id} -> {status}"
+        if doc["state"] in ("done", "failed", "cancelled"):
+            return doc
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} stuck in {doc['state']}")
+        time.sleep(0.1)
+
+
+def boot_server() -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--workers", "2", "--mode", "process"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONUNBUFFERED": "1"},
+    )
+    banner = proc.stdout.readline()
+    m = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+    assert m, f"no port in serve banner: {banner!r}"
+    return proc, f"http://127.0.0.1:{m.group(1)}"
+
+
+def main() -> int:
+    proc, base = boot_server()
+    try:
+        status, doc = request("GET", f"{base}/healthz")
+        assert (status, doc) == (200, {"ok": True}), "healthz failed"
+
+        # Three submissions: plain solve, tuned tiled solve, duplicate.
+        status, a = request("POST", f"{base}/jobs", SOLVE_SPEC)
+        assert status == 202, f"submit a -> {status}"
+        status, b = request("POST", f"{base}/jobs", TILED_SPEC)
+        assert status == 202, f"submit b -> {status}"
+        status, dup = request("POST", f"{base}/jobs", dict(SOLVE_SPEC))
+        assert status == 202, f"submit dup -> {status}"
+        assert dup["id"] == a["id"], "duplicate spec must share the job id"
+        assert dup["dedup_count"] == 1, "duplicate must coalesce, not requeue"
+
+        done_a = wait_for(base, a["id"])
+        done_b = wait_for(base, b["id"])
+        assert done_a["state"] == "done", f"job a: {done_a['error']}"
+        assert done_b["state"] == "done", f"job b: {done_b['error']}"
+        plan = done_b["result"]["plan"]
+        assert plan["source"] == "registry", f"tiled plan came from {plan}"
+
+        status, metrics = request("GET", f"{base}/metrics")
+        assert status == 200
+        sched = metrics["scheduler"]
+        assert sched["submitted"] == 3, sched
+        assert sched["executed"] == 2, f"dedup failed: {sched}"
+        assert sched["deduplicated"] == 1, sched
+        assert metrics["registry"]["stores"] >= 1, metrics["registry"]
+
+        # Bit-identity: the served result equals a direct in-process run.
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+        from repro.service import JobSpec, run_job
+
+        direct = run_job(JobSpec.from_dict(SOLVE_SPEC))
+        served = done_a["result"]
+        assert served["checksum"] == direct["checksum"], (
+            "served fields differ from a direct solve")
+        assert served == direct, "served result is not bit-identical"
+
+        print("service smoke: 3 submissions, 2 executions, 1 dedup; "
+              f"registry plan dw={plan['dw']} bz={plan['bz']}; "
+              "served result bit-identical to direct run_job")
+        return 0
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,8 @@ def __getattr__(name):
     # Lazy subpackage access: ``repro.core`` / ``repro.machine`` /
     # ``repro.experiments`` / ``repro.cluster`` / ``repro.io`` import on
     # first touch (keeps ``import repro`` light for solver-only users).
-    if name in ("core", "machine", "experiments", "cluster", "io", "cli"):
+    if name in ("core", "machine", "experiments", "cluster", "io", "cli",
+                "service", "config", "ioutil"):
         import importlib
 
         module = importlib.import_module(f".{name}", __name__)

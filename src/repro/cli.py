@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the library's workflows::
+Eleven subcommands cover the library's workflows::
 
     repro solve    --preset absorber --grid 48 --wavelength 12 --tol 1e-5
     repro tune     --grid 384 --threads 18 --variant mwd
@@ -9,6 +9,14 @@ Seven subcommands cover the library's workflows::
     repro bench    tune --engine reference --top 20
     repro counters --workload tiled --group MEM,CACHE
     repro trace    --out trace.json --grid 192
+    repro serve    --port 8642 --workers 4 --registry plans/
+    repro submit   --url http://127.0.0.1:8642 --preset tandem --wait
+    repro campaign --preset tandem --wavelengths 10,14 --thicknesses 0.1,0.2
+    repro env
+
+The last four are the solve service (see :mod:`repro.service`): a job
+scheduler + persistent plan registry behind a stdlib HTTP JSON API, and
+``repro env``, which documents every ``REPRO_*`` environment flag.
 
 Observability switches:
 
@@ -32,7 +40,20 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed distribution version, falling back to the source
+    tree's ``repro.__version__`` when running uninstalled."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="THIIM electromagnetics + multicore wavefront diamond blocking (IPDPS'16 reproduction)",
     )
+    p.add_argument("--version", action="version",
+                   version=f"repro {package_version()}")
     sub = p.add_subparsers(dest="command", required=True)
 
     s = sub.add_parser("solve", help="run a THIIM solve on a preset scene")
@@ -117,7 +140,81 @@ def build_parser() -> argparse.ArgumentParser:
                     help="Chrome-trace output path (JSONL written next to it)")
     tr.add_argument("--grid", type=int, default=192)
     tr.add_argument("--threads", type=int, default=18)
+
+    sv = sub.add_parser("serve", help="run the solve service (HTTP JSON API)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8642,
+                    help="listen port (0 = pick an ephemeral port)")
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--queue-size", type=int, default=64,
+                    help="bounded queue depth (backpressure beyond this)")
+    sv.add_argument("--mode", choices=("thread", "process"), default="process",
+                    help="worker isolation (process survives worker crashes)")
+    sv.add_argument("--registry", default=None, metavar="DIR",
+                    help="plan registry dir (default: REPRO_REGISTRY_DIR)")
+    sv.add_argument("--results", default=None, metavar="DIR",
+                    help="result store dir (default: REPRO_RESULT_DIR)")
+
+    sb = sub.add_parser("submit", help="submit a job to a running service")
+    sb.add_argument("--url", default="http://127.0.0.1:8642")
+    _add_jobspec_args(sb)
+    sb.add_argument("--priority", type=int, default=0,
+                    help="larger runs earlier (FIFO within a level)")
+    sb.add_argument("--wait", action="store_true",
+                    help="poll until the job is terminal and print the result")
+    sb.add_argument("--timeout", type=float, default=300.0)
+
+    cp = sub.add_parser(
+        "campaign",
+        help="parameter sweep (thickness x wavelength) through the scheduler",
+    )
+    _add_jobspec_args(cp, campaign=True)
+    cp.add_argument("--wavelengths", default="10,12,14,16",
+                    metavar="L1,L2,...")
+    cp.add_argument("--thicknesses", default="0.10,0.16,0.22",
+                    metavar="T1,T2,...", help="absorber thickness fractions")
+    cp.add_argument("--workers", type=int, default=2)
+    cp.add_argument("--url", default=None,
+                    help="submit to a running service instead of in-process")
+    cp.add_argument("--trace", default=None, metavar="FILE.json",
+                    help="write one Chrome trace covering the whole campaign")
+    cp.add_argument("--out", default=None, metavar="FILE.json",
+                    help="save the campaign table as JSON")
+    cp.add_argument("--timeout", type=float, default=600.0)
+
+    e = sub.add_parser("env", help="list every REPRO_* environment flag")
+    e.add_argument("--json", action="store_true")
     return p
+
+
+def _add_jobspec_args(sp: argparse.ArgumentParser, campaign: bool = False) -> None:
+    """Shared job-spec arguments of ``submit`` and ``campaign``."""
+    from .fdfd.presets import PRESETS
+
+    sp.add_argument("--kind", choices=("solve", "tune"), default="solve")
+    sp.add_argument("--preset", choices=PRESETS,
+                    default="tandem" if campaign else "absorber")
+    sp.add_argument("--grid", type=int, default=16 if campaign else 48)
+    if not campaign:
+        sp.add_argument("--wavelength", type=float, default=12.0)
+        sp.add_argument("--thickness", type=float, default=None)
+    sp.add_argument("--tol", type=float, default=1e-4 if campaign else 1e-5)
+    sp.add_argument("--max-steps", type=int, default=3000)
+    if campaign:
+        sp.add_argument("--no-tiled", dest="tiled", action="store_false",
+                        help="plain sweeps instead of tuned MWD traversals")
+        sp.set_defaults(tiled=True)
+    else:
+        sp.add_argument("--tiled", action="store_true")
+    sp.add_argument("--dw", type=int, default=4)
+    sp.add_argument("--bz", type=int, default=2)
+    sp.add_argument("--threads", type=int, default=18)
+    sp.add_argument("--tuning", choices=("spec", "registry"),
+                    default="registry" if campaign else "spec",
+                    help="where tiled solves get their (Dw, Bz) plan")
+    if campaign:
+        sp.add_argument("--registry", default=None, metavar="DIR",
+                        help="plan registry dir (default: REPRO_REGISTRY_DIR)")
 
 
 def _add_perf_group(sp: argparse.ArgumentParser) -> None:
@@ -129,8 +226,8 @@ def _add_perf_group(sp: argparse.ArgumentParser) -> None:
 def _cmd_solve(args) -> int:
     from .core.tiled_solver import TiledTHIIM
     from .fdfd import (
-        A_SI_H, SILVER, TCO_ZNO, UC_SI_H, Grid, PMLSpec, PlaneWaveSource,
-        Scene, THIIMSolver, absorbed_power, poynting_flux_z,
+        Grid, PMLSpec, PlaneWaveSource, THIIMSolver, absorbed_power,
+        poynting_flux_z, preset_scene,
     )
 
     n = args.grid
@@ -139,20 +236,9 @@ def _cmd_solve(args) -> int:
     periodic = (False, not args.tiled, not args.tiled)
     grid = Grid(nz=nz, ny=n, nx=n, periodic=periodic)
     omega = 2 * np.pi / args.wavelength
-
-    scene = None
-    if args.preset == "absorber":
-        scene = Scene().add_layer(A_SI_H, nz // 2, nz - nz // 4)
-    elif args.preset == "mirror":
-        scene = Scene().add_layer(SILVER, nz - nz // 3, nz)
-    elif args.preset == "tandem":
-        scene = (
-            Scene()
-            .add_layer(TCO_ZNO, int(0.30 * nz), int(0.36 * nz))
-            .add_layer(A_SI_H, int(0.36 * nz), int(0.44 * nz))
-            .add_layer(UC_SI_H, int(0.44 * nz), int(0.70 * nz))
-            .add_layer(SILVER, int(0.74 * nz), nz)
-        )
+    # The same construction path the solve service uses (bit-identical
+    # scenes between `repro solve` and served jobs).
+    scene = preset_scene(args.preset, nz)
 
     solver = THIIMSolver(
         grid, omega, scene=scene,
@@ -458,8 +544,240 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+# -- the solve service ---------------------------------------------------------
+
+
+def _spec_from_args(args, wavelength=None, thickness=None) -> dict:
+    """A JobSpec payload from submit/campaign arguments."""
+    return {
+        "kind": args.kind,
+        "preset": args.preset,
+        "grid": args.grid,
+        "wavelength": wavelength if wavelength is not None else args.wavelength,
+        "thickness": thickness if thickness is not None else getattr(args, "thickness", None),
+        "tol": args.tol,
+        "max_steps": args.max_steps,
+        "tiled": args.tiled,
+        "dw": args.dw,
+        "bz": args.bz,
+        "threads": args.threads,
+        "tuning": args.tuning,
+    }
+
+
+def _http_json(method: str, url: str, payload=None, timeout: float = 30.0):
+    """One JSON request/response round trip (stdlib urllib)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read() or b"{}")
+
+
+def _poll_job(url: str, job_id: str, timeout: float) -> dict:
+    import time
+
+    from .service.jobs import JobState
+
+    deadline = time.monotonic() + timeout
+    while True:
+        status, doc = _http_json("GET", f"{url}/jobs/{job_id}")
+        if status == 200 and doc["state"] in JobState.TERMINAL:
+            return doc
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} still {doc.get('state')!r}")
+        time.sleep(0.15)
+
+
+def _cmd_serve(args) -> int:
+    from . import config
+    from .service import PlanRegistry, ResultStore, Scheduler, make_server
+
+    registry = PlanRegistry(args.registry or config.registry_dir())
+    store = ResultStore(args.results or config.result_dir())
+    sched = Scheduler(
+        workers=args.workers, queue_size=args.queue_size,
+        registry=registry, store=store, mode=args.mode,
+    ).start()
+    server = make_server(sched, host=args.host, port=args.port)
+    print(f"repro service on http://{args.host}:{server.server_port} "
+          f"({args.workers} {args.mode} workers, queue {args.queue_size}, "
+          f"registry {registry.root or 'in-memory'})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        sched.stop()
+    return 0
+
+
+def _print_job_result(doc: dict) -> None:
+    res = doc.get("result") or {}
+    if res.get("kind") == "solve":
+        line = (f"solve: {res['iterations']} steps, residual "
+                f"{res['residual']:.3e}, "
+                f"{'converged' if res['converged'] else 'NOT converged'}")
+        if "absorbed" in res:
+            line += f", absorbed {res['absorbed']:.4f}"
+        print(line)
+        print(f"checksum: {res['checksum']}")
+    elif res.get("kind") == "tune":
+        print(res.get("describe") or "no feasible configuration")
+        print(f"registry hit: {res.get('registry_hit')}")
+
+
+def _cmd_submit(args) -> int:
+    from .service.jobs import JobSpec, JobState
+
+    spec = dict(_spec_from_args(args), priority=args.priority)
+    JobSpec.from_dict(spec)  # validate locally before the round trip
+    status, doc = _http_json("POST", f"{args.url}/jobs", payload=spec)
+    if status == 503:
+        print(f"rejected (backpressure): {doc.get('error')}")
+        return 3
+    if status != 202:
+        print(f"submit failed ({status}): {doc.get('error')}")
+        return 2
+    dedup = " (deduplicated)" if doc.get("dedup_count") else ""
+    cached = " (served from store)" if doc.get("from_store") else ""
+    print(f"job {doc['id']} {doc['state']}{dedup}{cached}")
+    if not args.wait:
+        return 0
+    doc = _poll_job(args.url, doc["id"], args.timeout)
+    print(f"job {doc['id']} {doc['state']} after {doc['attempts']} attempt(s)")
+    _print_job_result(doc)
+    return 0 if doc["state"] == JobState.DONE else 2
+
+
+def _campaign_specs(args) -> list:
+    wavelengths = [float(w) for w in args.wavelengths.split(",") if w]
+    thicknesses = [float(t) for t in args.thicknesses.split(",") if t]
+    return [
+        _spec_from_args(args, wavelength=w, thickness=t)
+        for t in thicknesses
+        for w in wavelengths
+    ]
+
+
+def _cmd_campaign(args) -> int:
+    """Run a thickness x wavelength sweep (the paper's solar-cell use
+    case) through the scheduler, reusing one tuned plan per machine key."""
+    from . import config
+    from .core import tracing
+    from .service import PlanRegistry, Scheduler
+    from .service.jobs import JobSpec, JobState
+
+    specs = _campaign_specs(args)
+    rec = tracing.start_trace(args.trace) if args.trace else None
+
+    rows = []
+    try:
+        with tracing.span(f"campaign {len(specs)} jobs", "service",
+                          args={"preset": args.preset, "grid": args.grid}):
+            if args.url:
+                ids = []
+                for spec in specs:
+                    status, doc = _http_json("POST", f"{args.url}/jobs",
+                                             payload=spec)
+                    if status != 202:
+                        print(f"submit failed ({status}): {doc.get('error')}")
+                        return 2
+                    ids.append(doc["id"])
+                docs = [_poll_job(args.url, i, args.timeout) for i in ids]
+                status_line = f"remote service at {args.url}"
+            else:
+                registry = PlanRegistry(args.registry or config.registry_dir())
+                sched = Scheduler(
+                    workers=args.workers,
+                    queue_size=max(len(specs), 1),
+                    registry=registry, mode="thread",
+                ).start()
+                try:
+                    jobs = [sched.submit(JobSpec.from_dict(s)) for s in specs]
+                    sched.join(timeout=args.timeout)
+                finally:
+                    sched.stop()
+                docs = [j.to_dict() for j in jobs]
+                st = sched.stats()
+                reg = registry.counters()
+                hit_rate = reg["hits"] / max(reg["hits"] + reg["misses"], 1)
+                status_line = (
+                    f"{st['executed']} executions for {st['submitted']} "
+                    f"submissions ({st['deduplicated']} deduplicated); "
+                    f"registry {reg['hits']} hits / {reg['misses']} misses "
+                    f"({100 * hit_rate:.0f}% hit rate)"
+                )
+            for spec, doc in zip(specs, docs):
+                res = doc.get("result") or {}
+                rows.append({
+                    "wavelength": spec["wavelength"],
+                    "thickness": spec["thickness"],
+                    "state": doc["state"],
+                    "iterations": res.get("iterations"),
+                    "converged": res.get("converged"),
+                    "absorbed": res.get("absorbed"),
+                    "registry_hit": (res.get("plan") or {}).get("registry_hit"),
+                })
+    finally:
+        if rec is not None:
+            _, written = tracing.stop_trace()
+            for w in written:
+                print(f"trace -> {w}")
+
+    print(f"{'lambda':>7s} {'thick':>6s} {'state':>9s} {'steps':>6s} "
+          f"{'absorbed':>9s} {'plan':>9s}")
+    for r in rows:
+        absorbed = "-" if r["absorbed"] is None else f"{r['absorbed']:.4f}"
+        steps = "-" if r["iterations"] is None else str(r["iterations"])
+        plan = "hit" if r["registry_hit"] else ("miss" if r["registry_hit"] is False else "-")
+        print(f"{r['wavelength']:7.1f} {r['thickness']:6.2f} {r['state']:>9s} "
+              f"{steps:>6s} {absorbed:>9s} {plan:>9s}")
+    print(f"campaign: {status_line}")
+    if args.out:
+        import json as _json
+        import os as _os
+
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(_os.path.abspath(args.out),
+                          _json.dumps(rows, indent=2, sort_keys=True))
+        print(f"saved -> {args.out}")
+    return 0 if all(r["state"] == JobState.DONE for r in rows) else 2
+
+
+def _cmd_env(args) -> int:
+    from . import config
+
+    rows = config.describe()
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    wf = max(len(r["flag"]) for r in rows)
+    wv = max(len("current"), max(len(r["value"]) for r in rows))
+    wd = max(len("default"), max(len(r["default"]) for r in rows))
+    print(f"{'flag'.ljust(wf)}  {'current'.ljust(wv)}  "
+          f"{'default'.ljust(wd)}  description")
+    for r in rows:
+        print(f"{r['flag'].ljust(wf)}  {r['value'].ljust(wv)}  "
+              f"{r['default'].ljust(wd)}  {r['description']}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    import os
+    from . import config
 
     args = build_parser().parse_args(argv)
     handlers = {
@@ -470,8 +788,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "counters": _cmd_counters,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "campaign": _cmd_campaign,
+        "env": _cmd_env,
     }
-    trace_path = os.environ.get("REPRO_TRACE")
+    trace_path = config.trace_path()
     rec = None
     if trace_path:
         from .core import tracing

@@ -1,0 +1,150 @@
+"""The one place that reads ``REPRO_*`` environment flags.
+
+Every runtime knob of the reproduction is an environment variable with a
+``REPRO_`` prefix.  They accumulated across subsystems (autotuner,
+stream engines, native kernel, tracing, serving layer); this module is
+the registry: each flag is declared once with its default, its type and
+a one-line description, and every subsystem reads it through an accessor
+here instead of a scattered ``os.environ.get``.
+
+``repro env`` prints the table (flag, current value, default,
+description) so a shell session can be audited at a glance.
+
+Flags are always read *live* from ``os.environ`` -- tests and the CLI
+mutate the environment mid-process and expect the change to take effect
+on the next call.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Flag",
+    "FLAGS",
+    "describe",
+    "native_build_dir",
+    "native_disabled",
+    "registry_dir",
+    "result_dir",
+    "stream_engine",
+    "trace_path",
+    "tune_cache_dir",
+    "tune_workers",
+]
+
+
+@dataclass(frozen=True)
+class Flag:
+    """One documented environment flag."""
+
+    name: str
+    default: str
+    kind: str  # "int" | "path" | "choice" | "bool" | "str"
+    help: str
+
+    @property
+    def raw(self) -> Optional[str]:
+        """The current environment value, or ``None`` when unset."""
+        return os.environ.get(self.name)
+
+
+FLAGS: Dict[str, Flag] = {
+    f.name: f
+    for f in (
+        Flag(
+            "REPRO_TUNE_WORKERS", "1", "int",
+            "fork-pool workers scoring autotuner candidates (1 = serial)",
+        ),
+        Flag(
+            "REPRO_TUNE_CACHE", "(disabled)", "path",
+            "directory persisting tuned points across processes",
+        ),
+        Flag(
+            "REPRO_STREAM_ENGINE", "auto", "choice",
+            "stream replay engine: reference, batch, native, or auto",
+        ),
+        Flag(
+            "REPRO_NO_NATIVE", "(unset)", "bool",
+            "any non-empty value disables the compiled C LRU kernel",
+        ),
+        Flag(
+            "REPRO_NATIVE_BUILD_DIR", "src/repro/machine/_build", "path",
+            "where the compiled LRU kernel shared object is cached",
+        ),
+        Flag(
+            "REPRO_TRACE", "(disabled)", "path",
+            "Chrome-trace output path; traces any repro CLI command",
+        ),
+        Flag(
+            "REPRO_REGISTRY_DIR", "(in-memory)", "path",
+            "persistent plan-registry directory for the solve service",
+        ),
+        Flag(
+            "REPRO_RESULT_DIR", "(in-memory)", "path",
+            "persistent result-store directory for the solve service",
+        ),
+    )
+}
+
+
+def describe() -> List[Dict[str, str]]:
+    """Table rows for ``repro env``: one dict per flag."""
+    rows: List[Dict[str, str]] = []
+    for flag in FLAGS.values():
+        raw = flag.raw
+        rows.append(
+            {
+                "flag": flag.name,
+                "value": "(unset)" if raw is None else raw,
+                "default": flag.default,
+                "description": flag.help,
+            }
+        )
+    return rows
+
+
+# -- typed accessors (one per flag) -------------------------------------------
+
+
+def tune_workers() -> int:
+    """Autotuner fork-pool width; malformed values fall back to serial."""
+    try:
+        return max(1, int(os.environ.get("REPRO_TUNE_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def tune_cache_dir() -> Optional[str]:
+    """Tune-cache root, or ``None`` when persistence is off."""
+    return os.environ.get("REPRO_TUNE_CACHE") or None
+
+
+def stream_engine() -> Optional[str]:
+    """The engine override, or ``None`` (caller resolves ``auto``)."""
+    return os.environ.get("REPRO_STREAM_ENGINE") or None
+
+
+def native_disabled() -> bool:
+    """True when the compiled LRU kernel is vetoed (any non-empty value)."""
+    return bool(os.environ.get("REPRO_NO_NATIVE"))
+
+
+def native_build_dir(default: str) -> str:
+    return os.environ.get("REPRO_NATIVE_BUILD_DIR", default)
+
+
+def trace_path() -> Optional[str]:
+    return os.environ.get("REPRO_TRACE") or None
+
+
+def registry_dir() -> Optional[str]:
+    """Service plan-registry root, or ``None`` for in-memory only."""
+    return os.environ.get("REPRO_REGISTRY_DIR") or None
+
+
+def result_dir() -> Optional[str]:
+    """Service result-store root, or ``None`` for in-memory only."""
+    return os.environ.get("REPRO_RESULT_DIR") or None

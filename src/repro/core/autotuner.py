@@ -51,6 +51,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, List, Sequence, Tuple
 
+from .. import config
+from ..ioutil import atomic_write_json
 from ..machine.counters import SUBSTRATE_COUNTERS, timed_section
 from ..machine.measure import measure_sweep_code_balance, measure_tiled_code_balance
 from ..machine.simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
@@ -60,7 +62,14 @@ from .models import cache_block_size, max_diamond_width
 from .plan import TilingPlan
 from .threadgroups import ThreadGroupConfig, divisors, enumerate_tg_configs
 
-__all__ = ["TunedPoint", "tune_spatial", "tune_tiled", "simulate_grid_lups"]
+__all__ = [
+    "TunedPoint",
+    "point_from_json",
+    "point_to_json",
+    "simulate_grid_lups",
+    "tune_spatial",
+    "tune_tiled",
+]
 
 #: Bump to invalidate every persisted tuning result (format or model change).
 TUNE_CACHE_VERSION = 1
@@ -120,10 +129,7 @@ def grid_lups(n: int, timesteps: int = 100) -> float:
 
 
 def _tune_workers() -> int:
-    try:
-        return max(1, int(os.environ.get("REPRO_TUNE_WORKERS", "1")))
-    except ValueError:
-        return 1
+    return config.tune_workers()
 
 
 def _score_with_counters(item):
@@ -197,7 +203,7 @@ def _point_from_json(d) -> TunedPoint | None:
 
 
 def _cache_path(kind: str, spec: MachineSpec, args: tuple) -> str | None:
-    root = os.environ.get("REPRO_TUNE_CACHE")
+    root = config.tune_cache_dir()
     if not root:
         return None
     payload = json.dumps(
@@ -226,13 +232,20 @@ def _cache_put(path: str | None, point: TunedPoint | None) -> None:
     if path is None:
         return
     try:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as f:
-            json.dump({"version": TUNE_CACHE_VERSION, "point": _point_to_json(point)}, f)
-        os.replace(tmp, path)
+        # Unique-temp + rename: concurrent tuners (including two *threads*
+        # of one process, which a pid-suffixed temp name would collide on)
+        # can never interleave a torn cache file.
+        atomic_write_json(
+            path, {"version": TUNE_CACHE_VERSION, "point": _point_to_json(point)}
+        )
     except OSError:
         pass  # read-only or full disk: persistence is best-effort
+
+
+#: Public (de)serializers for a tuned point -- the service plan registry
+#: persists winners in exactly the tune-cache payload format.
+point_to_json = _point_to_json
+point_from_json = _point_from_json
 
 
 # -- the tuners ---------------------------------------------------------------
@@ -284,15 +297,21 @@ def tune_spatial(spec: MachineSpec, grid_n: int, threads: int) -> TunedPoint:
     return best
 
 
-def _dw_candidates(n_groups: int, bz: int, nx: int, budget: float) -> List[int]:
+def _dw_candidates(
+    n_groups: int, bz: int, nx: int, budget: float, dw_cap: int = DW_CAP
+) -> List[int]:
     """Largest diamond widths whose total footprint fits the budget.
 
     Falls back to the implementation minimum ``D_w = 4`` when nothing
     fits: the code then runs with an overflowing cache block, and the
     *measured* code balance (not the model) prices the thrashing.
+
+    ``dw_cap`` is lowered to the domain width for thin domains (service
+    jobs tune small grids); production grids all exceed :data:`DW_CAP`,
+    so their search space is unchanged.
     """
     per_tile = budget * CACHE_SLACK / n_groups
-    top = max_diamond_width(bz, nx, per_tile, dw_cap=DW_CAP)
+    top = max_diamond_width(bz, nx, per_tile, dw_cap=dw_cap)
     if top is None or top < DW_MIN:
         return [DW_MIN]
     out = [top]
@@ -364,7 +383,8 @@ def _tiled_candidates(
             if not configs:
                 continue
             cfg = max(configs, key=lambda c: tg_efficiency(c, nx=nx, nz=nz, bz=bz))
-            for dw in _dw_candidates(n_groups, bz, nx, budget):
+            dw_cap = min(DW_CAP, ny - (ny % 2))  # diamonds must fit the domain
+            for dw in _dw_candidates(n_groups, bz, nx, budget, dw_cap=dw_cap):
                 if dw > ny:
                     continue
                 out.append((spec, machine, grid_n, threads, label, s,

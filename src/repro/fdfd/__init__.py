@@ -53,6 +53,7 @@ from .specs import (
     component_groups,
     flops_for_component,
 )
+from .presets import PRESETS, preset_scene
 from .thiim import SolveResult, THIIMSolver
 
 __all__ = [
@@ -72,6 +73,7 @@ __all__ = [
     "MATERIAL_LIBRARY",
     "Material",
     "PMLSpec",
+    "PRESETS",
     "PlaneWaveSource",
     "SILVER",
     "SIO2",
@@ -95,6 +97,7 @@ __all__ = [
     "naive_sweep",
     "pml_profile",
     "poynting_flux_z",
+    "preset_scene",
     "poynting_z",
     "random_coefficients",
     "relative_change",

@@ -1,0 +1,70 @@
+"""Named scene presets shared by the CLI and the solve service.
+
+``repro solve`` and service :class:`~repro.service.jobs.JobSpec` runs
+must produce bit-identical fields for the same parameters, so both build
+their scenes through :func:`preset_scene` -- a single construction path
+instead of two copies of the layer arithmetic.
+
+The optional ``thickness`` parameter is the campaign knob of the paper's
+solar-cell use case ("about 80-160 simulations ... for only a single
+solar cell configuration"): it scales the *absorber* layer as a fraction
+of the domain height, so a ``repro campaign`` can sweep layer thickness
+x wavelength.  ``thickness=None`` reproduces the historical fixed
+geometry exactly (same integer arithmetic), keeping existing solves
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .geometry import Scene
+from .materials import A_SI_H, SILVER, TCO_ZNO, UC_SI_H
+
+__all__ = ["PRESETS", "preset_scene"]
+
+#: The presets ``repro solve --preset`` and job specs accept.
+PRESETS = ("vacuum", "absorber", "mirror", "tandem")
+
+
+def _span(nz: int, start_frac: float, thickness: float) -> tuple[int, int]:
+    z0 = int(start_frac * nz)
+    z1 = min(nz, z0 + max(1, round(thickness * nz)))
+    return z0, z1
+
+
+def preset_scene(
+    preset: str, nz: int, thickness: Optional[float] = None
+) -> Optional[Scene]:
+    """Build the named preset scene for a domain of ``nz`` cells.
+
+    Returns ``None`` for ``vacuum`` (no scene; free-space propagation).
+    ``thickness`` (a fraction of ``nz``, in ``(0, 0.4]``) scales the
+    absorber layer of the ``absorber`` and ``tandem`` presets.
+    """
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}, expected one of {PRESETS}")
+    if thickness is not None and not (0.0 < thickness <= 0.4):
+        raise ValueError("thickness must be a fraction of nz in (0, 0.4]")
+
+    if preset == "vacuum":
+        return None
+    if preset == "absorber":
+        if thickness is None:
+            return Scene().add_layer(A_SI_H, nz // 2, nz - nz // 4)
+        z0, z1 = _span(nz, 0.5, thickness)
+        return Scene().add_layer(A_SI_H, z0, z1)
+    if preset == "mirror":
+        return Scene().add_layer(SILVER, nz - nz // 3, nz)
+
+    # tandem: the Fig. 1 stack; ``thickness`` scales the uc-Si:H bottom
+    # absorber (the photocurrent-limiting layer a real sweep optimizes).
+    scene = Scene().add_layer(TCO_ZNO, int(0.30 * nz), int(0.36 * nz))
+    scene.add_layer(A_SI_H, int(0.36 * nz), int(0.44 * nz))
+    if thickness is None:
+        scene.add_layer(UC_SI_H, int(0.44 * nz), int(0.70 * nz))
+    else:
+        z0, z1 = _span(nz, 0.44, thickness)
+        scene.add_layer(UC_SI_H, z0, z1)
+    scene.add_layer(SILVER, int(0.74 * nz), nz)
+    return scene

@@ -1,0 +1,67 @@
+"""Atomic filesystem helpers shared by every persistence layer.
+
+Concurrent writers are the norm here: ``REPRO_TUNE_WORKERS`` fork-pool
+workers and service scheduler workers all persist results into shared
+directories (the tune cache, the plan registry, the result store).  A
+plain ``open(path, "w")`` can interleave two writers and leave a torn
+JSON file behind; every writer in this codebase therefore goes through
+:func:`atomic_write_text` / :func:`atomic_write_json`, which write to a
+per-call unique temporary file in the destination directory and publish
+with ``os.replace`` -- readers see either the old complete file or the
+new complete file, never a mix.
+
+(A pid-suffixed temp name is *not* enough: two threads of one process
+share a pid.  ``tempfile.mkstemp`` gives a unique name per call.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_text", "atomic_write_json", "read_json"]
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Atomically replace ``path`` with ``text`` (UTF-8).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename (atomic on POSIX).
+    """
+    path = os.path.abspath(path)
+    parent = os.path.dirname(path)
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=parent, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: str, obj) -> str:
+    """Atomically write ``obj`` as JSON (sorted keys, exact float repr)."""
+    return atomic_write_text(path, json.dumps(obj, sort_keys=True))
+
+
+def read_json(path: str):
+    """Load a JSON file, returning ``None`` when missing or unreadable.
+
+    Corrupt or half-written entries (which atomic writes make impossible
+    for *our* writers, but a crashed foreign process could still leave)
+    read as a miss, never an exception.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None

@@ -39,11 +39,11 @@ process-wide via ``REPRO_STREAM_ENGINE``.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterator, List
 
+from .. import config
 from ..core import tracing
 from ..core.plan import TilingPlan
 from ..core.wavefront import RowJob, tile_row_jobs, wavefront_width
@@ -71,7 +71,7 @@ ENGINES = ("reference", "batch", "native")
 
 def resolve_engine(engine: str | None = None) -> str:
     """Resolve an engine name (or ``None`` / ``"auto"``) to a concrete one."""
-    e = engine or os.environ.get("REPRO_STREAM_ENGINE") or "auto"
+    e = engine or config.stream_engine() or "auto"
     if e == "auto":
         return "native"
     if e not in ENGINES:

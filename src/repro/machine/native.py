@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import config
 from .cache import BatchLRU, CacheStats
 
 __all__ = ["NativeLRU", "make_lru", "native_available"]
@@ -58,8 +59,8 @@ def _build_library():
     with open(_SRC, "rb") as f:
         src = f.read()
     tag = hashlib.sha1(src).hexdigest()[:12]
-    build_dir = os.environ.get(
-        "REPRO_NATIVE_BUILD_DIR", os.path.join(os.path.dirname(_SRC), "_build")
+    build_dir = config.native_build_dir(
+        os.path.join(os.path.dirname(_SRC), "_build")
     )
     so_path = os.path.join(build_dir, f"_lru_kernel-{tag}.so")
     if not os.path.exists(so_path):
@@ -97,7 +98,7 @@ def _get_library():
     global _LIB, _LIB_TRIED
     if not _LIB_TRIED:
         _LIB_TRIED = True
-        if not os.environ.get("REPRO_NO_NATIVE"):
+        if not config.native_disabled():
             try:
                 _LIB = _build_library()
             except Exception:  # no compiler, read-only tree, ... -> fallback

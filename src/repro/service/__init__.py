@@ -1,0 +1,43 @@
+"""Solve service: job scheduling, plan registry, result store, HTTP API.
+
+The paper's economics are compile-once/serve-many: an autotuned MWD plan
+is expensive to find (a full candidate sweep through the machine model)
+but cheap to reuse.  This subsystem gives that shape a serving layer:
+
+``jobs``
+    Declarative :class:`~repro.service.jobs.JobSpec` (scene, grid,
+    machine, tuning policy) with content-addressed job ids, the job
+    lifecycle (queued/running/done/failed/cancelled) and bounded retry.
+``registry``
+    Persistent plan registry memoizing autotuner winners keyed by
+    (grid, machine-spec hash, thread count) -- repeat jobs skip tuning.
+``store``
+    Content-addressed result store: identical job specs dedup to one
+    execution and serve cached results bit-identically.
+``scheduler``
+    Priority-FIFO scheduler over thread or process workers with a
+    bounded queue (backpressure), crash recovery and retry backoff.
+``server``
+    Stdlib ``ThreadingHTTPServer`` JSON API: ``POST /jobs``,
+    ``GET /jobs/<id>``, ``GET /metrics``, ``GET /registry``.
+
+Everything is stdlib + the existing repro stack; no new dependencies.
+"""
+
+from .jobs import Job, JobSpec, JobState, run_job
+from .registry import PlanRegistry
+from .scheduler import QueueFullError, Scheduler
+from .server import make_server
+from .store import ResultStore
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobState",
+    "PlanRegistry",
+    "QueueFullError",
+    "ResultStore",
+    "Scheduler",
+    "make_server",
+    "run_job",
+]

@@ -1,0 +1,358 @@
+"""Declarative job specs and the job lifecycle.
+
+A :class:`JobSpec` is everything needed to reproduce one unit of work --
+a THIIM solve on a preset scene or an autotuner run -- as plain data.
+Its identity is *content-addressed*: the job id is a SHA-256 over the
+canonical JSON of the computational fields (execution policy such as
+priority and retry budget is excluded), so two submissions of the same
+computation share one id, one execution, and one stored result.
+
+:class:`Job` is the runtime record: lifecycle state (QUEUED -> RUNNING
+-> DONE | FAILED | CANCELLED, with RUNNING -> QUEUED requeues on worker
+crash), attempt counter and timestamps.  :func:`run_job` executes a spec
+deterministically -- it is the *same* code path for direct CLI solves,
+thread workers and forked process workers, which is what makes the
+bit-identical serving guarantee testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core import tracing
+
+__all__ = ["JobSpec", "Job", "JobState", "run_job", "FAULTS"]
+
+KINDS = ("solve", "tune")
+TUNING_POLICIES = ("spec", "registry")
+VARIANTS = ("spatial", "1wd", "mwd")
+#: Test hooks for the retry machinery.  ``fail_once`` raises on the first
+#: attempt; ``crash_once`` kills the worker *process* on the first
+#: attempt (simulating a mid-job worker death); ``always_fail`` raises on
+#: every attempt (exhausts the retry budget).
+FAULTS = ("fail_once", "crash_once", "always_fail")
+
+#: Fields that define *what* is computed (hashed into the job id).
+#: Everything else on JobSpec is execution policy.
+_IDENTITY_FIELDS = (
+    "kind", "preset", "grid", "wavelength", "thickness", "tol", "max_steps",
+    "tiled", "dw", "bz", "threads", "variant", "tg_size", "bandwidth",
+    "tuning", "fault",
+)
+
+
+class JobState:
+    """The JOB lifecycle states (plain strings for JSON friendliness)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative unit of work for the solve service."""
+
+    kind: str = "solve"
+    # -- scene ---------------------------------------------------------------
+    preset: str = "absorber"
+    grid: int = 48
+    wavelength: float = 12.0
+    thickness: Optional[float] = None
+    # -- solve numerics ------------------------------------------------------
+    tol: float = 1e-5
+    max_steps: int = 3000
+    tiled: bool = False
+    dw: int = 4
+    bz: int = 2
+    # -- machine / tuning ----------------------------------------------------
+    threads: int = 18
+    variant: str = "mwd"
+    tg_size: Optional[int] = None
+    bandwidth: Optional[float] = None
+    tuning: str = "spec"
+    # -- execution policy (excluded from the job id) -------------------------
+    priority: int = 0
+    max_retries: int = 2
+    timeout_s: Optional[float] = None
+    # -- test hook (part of the identity: it changes behaviour) --------------
+    fault: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from ..fdfd.presets import PRESETS
+
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.preset not in PRESETS:
+            raise ValueError(f"preset must be one of {PRESETS}, got {self.preset!r}")
+        if self.grid < 8 or (self.kind == "solve" and self.grid < 10):
+            # Solves need nz = 2*grid to clear the source plane at
+            # max(nz//8, 12) and the incident-flux plane 4 cells below it.
+            raise ValueError("grid must be >= 10 for solves (>= 8 for tune)")
+        if self.wavelength <= 0:
+            raise ValueError("wavelength must be positive")
+        if self.tol <= 0:
+            raise ValueError("tol must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.dw < 4 or self.dw % 2:
+            raise ValueError("dw must be an even integer >= 4")
+        if self.bz < 1:
+            raise ValueError("bz must be >= 1")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if self.variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}")
+        if self.tuning not in TUNING_POLICIES:
+            raise ValueError(f"tuning must be one of {TUNING_POLICIES}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.fault is not None and self.fault not in FAULTS:
+            raise ValueError(f"fault must be one of {FAULTS} or None")
+
+    # -- identity --------------------------------------------------------------
+
+    def identity(self) -> Dict[str, Any]:
+        """The computational fields, canonically ordered."""
+        return {f: getattr(self, f) for f in _IDENTITY_FIELDS}
+
+    @property
+    def job_id(self) -> str:
+        payload = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JobSpec":
+        """Build a spec from client JSON; unknown keys are an error."""
+        if not isinstance(d, dict):
+            raise ValueError("job spec must be a JSON object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown job spec fields: {sorted(unknown)}")
+        return cls(**d)
+
+
+@dataclass
+class Job:
+    """Runtime record of one submitted spec."""
+
+    spec: JobSpec
+    state: str = JobState.QUEUED
+    attempts: int = 0
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Result served straight from the persistent store (no execution).
+    from_store: bool = False
+    #: Extra submissions that coalesced onto this job.
+    dedup_count: int = 0
+
+    #: Legal lifecycle transitions (RUNNING -> QUEUED is the crash requeue).
+    _TRANSITIONS = {
+        JobState.QUEUED: (JobState.RUNNING, JobState.CANCELLED),
+        JobState.RUNNING: (JobState.DONE, JobState.FAILED, JobState.QUEUED),
+        JobState.DONE: (),
+        JobState.FAILED: (),
+        JobState.CANCELLED: (),
+    }
+
+    @property
+    def id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def transition(self, new: str) -> None:
+        if new not in self._TRANSITIONS[self.state]:
+            raise ValueError(f"illegal job transition {self.state} -> {new}")
+        self.state = new
+        if new == JobState.RUNNING and self.started_at is None:
+            self.started_at = time.time()
+        if new in JobState.TERMINAL:
+            self.finished_at = time.time()
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        d = {
+            "id": self.id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "from_store": self.from_store,
+            "dedup_count": self.dedup_count,
+            "spec": self.spec.to_dict(),
+        }
+        if include_result:
+            d["result"] = self.result
+        return d
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def machine_spec_for(spec: JobSpec):
+    """The machine model a spec tunes/solves against."""
+    from ..machine import HASWELL_EP
+
+    m = HASWELL_EP
+    if spec.bandwidth:
+        m = m.with_bandwidth(spec.bandwidth)
+    return m
+
+
+def _inject_fault(spec: JobSpec, attempt: int, in_child: bool) -> None:
+    if spec.fault is None:
+        return
+    if spec.fault == "always_fail":
+        raise RuntimeError("injected failure (always_fail)")
+    if attempt == 1 and spec.fault == "fail_once":
+        raise RuntimeError("injected failure (fail_once)")
+    if attempt == 1 and spec.fault == "crash_once":
+        if in_child:
+            import os
+
+            os._exit(42)  # die like a SIGKILLed worker: no cleanup, no result
+        raise RuntimeError("injected crash (crash_once, inline worker)")
+
+
+def _field_checksum(fields) -> str:
+    """SHA-256 over the raw bytes of all twelve components, in canonical
+    order -- the bit-identity witness for served results."""
+    from ..fdfd.specs import ALL_COMPONENTS
+
+    h = hashlib.sha256()
+    for name in ALL_COMPONENTS:
+        h.update(fields[name].tobytes())
+    return h.hexdigest()
+
+
+def _run_tune(spec: JobSpec, registry) -> Dict[str, Any]:
+    from ..core.autotuner import point_to_json, tune_spatial, tune_tiled
+
+    m = machine_spec_for(spec)
+    hit = False
+    if registry is not None:
+        point, hit = registry.get_or_tune(
+            m, spec.grid, spec.threads, tg_size=spec.tg_size, variant=spec.variant
+        )
+    elif spec.variant == "spatial":
+        point = tune_spatial(m, spec.grid, spec.threads)
+    elif spec.variant == "1wd":
+        point = tune_tiled(m, spec.grid, spec.threads, tg_size=1, variant="1WD")
+    else:
+        point = tune_tiled(m, spec.grid, spec.threads, tg_size=spec.tg_size)
+    return {
+        "kind": "tune",
+        "registry_hit": hit,
+        "point": point_to_json(point),
+        "describe": None if point is None else point.describe(),
+    }
+
+
+def _resolve_plan(spec: JobSpec, registry) -> Dict[str, Any]:
+    """The (dw, bz) a tiled solve runs with, per the tuning policy."""
+    if not spec.tiled:
+        return {"tiled": False}
+    if spec.tuning == "spec" or registry is None:
+        return {"tiled": True, "dw": spec.dw, "bz": spec.bz,
+                "source": "spec", "registry_hit": False}
+    point, hit = registry.get_or_tune(
+        machine_spec_for(spec), spec.grid, spec.threads,
+        tg_size=spec.tg_size, variant=spec.variant,
+    )
+    if point is None:  # no feasible tuned plan: fall back to the spec's
+        return {"tiled": True, "dw": spec.dw, "bz": spec.bz,
+                "source": "fallback", "registry_hit": hit}
+    return {"tiled": True, "dw": point.dw, "bz": point.bz,
+            "source": "registry", "registry_hit": hit}
+
+
+def _run_solve(spec: JobSpec, registry) -> Dict[str, Any]:
+    import numpy as np
+
+    from ..core.tiled_solver import TiledTHIIM
+    from ..fdfd import (
+        Grid, PMLSpec, PlaneWaveSource, THIIMSolver,
+        absorbed_power, poynting_flux_z,
+    )
+    from ..fdfd.presets import preset_scene
+
+    n = spec.grid
+    nz = 2 * n
+    # Same geometry as ``repro solve``: tiled traversal needs
+    # non-periodic y/z.
+    periodic = (False, not spec.tiled, not spec.tiled)
+    grid = Grid(nz=nz, ny=n, nx=n, periodic=periodic)
+    omega = 2 * np.pi / spec.wavelength
+    scene = preset_scene(spec.preset, nz, thickness=spec.thickness)
+    source_plane = max(nz // 8, 12)
+    solver = THIIMSolver(
+        grid, omega, scene=scene,
+        source=PlaneWaveSource(z_plane=source_plane, z_width=2.0),
+        pml={"z": PMLSpec(thickness=max(nz // 10, 6))},
+    )
+    plan = _resolve_plan(spec, registry)
+    if plan["tiled"]:
+        driver = TiledTHIIM(solver, dw=plan["dw"], bz=plan["bz"])
+        result = driver.solve(tol=spec.tol, max_steps=spec.max_steps)
+    else:
+        result = solver.solve(tol=spec.tol, max_steps=spec.max_steps)
+
+    out: Dict[str, Any] = {
+        "kind": "solve",
+        "grid": list(grid.shape),
+        "omega": omega,
+        "plan": plan,
+        "iterations": result.iterations,
+        "residual": float(result.residual),
+        "converged": bool(result.converged),
+        "checksum": _field_checksum(solver.fields),
+    }
+    if scene is not None:
+        out["absorbed"] = float(absorbed_power(solver.fields, solver.sigma))
+        out["incident"] = float(poynting_flux_z(solver.fields, source_plane + 4))
+    return out
+
+
+def run_job(
+    spec: JobSpec,
+    registry=None,
+    attempt: int = 1,
+    in_child: bool = False,
+) -> Dict[str, Any]:
+    """Execute a spec and return its JSON-serializable result.
+
+    Deterministic in ``spec`` (and ``registry`` contents for tuned
+    plans): repeat runs return equal dicts bit for bit, which is the
+    contract the result store's dedup relies on.
+    """
+    with tracing.span(
+        f"job {spec.job_id[:12]}", "service",
+        args={"kind": spec.kind, "attempt": attempt, "grid": spec.grid},
+    ):
+        _inject_fault(spec, attempt, in_child)
+        if spec.kind == "tune":
+            return _run_tune(spec, registry)
+        return _run_solve(spec, registry)

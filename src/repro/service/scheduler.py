@@ -1,0 +1,377 @@
+"""Priority-FIFO job scheduler with worker pool, backpressure and retry.
+
+Submission path
+---------------
+``submit(spec)`` coalesces aggressively before any work happens:
+
+1. an in-flight or completed job with the same content-addressed id
+   absorbs the submission (dedup -- one execution per unique spec);
+2. a result already in the persistent store completes the job instantly
+   (served bit-identically, no execution);
+3. otherwise the job enters a *bounded* priority queue -- when full the
+   submission is rejected with a reason (:class:`QueueFullError`), which
+   the HTTP layer surfaces as 503 backpressure.
+
+Ordering is (higher ``priority`` first, FIFO within a priority level),
+implemented as a heap keyed ``(-priority, seq)``.
+
+Execution path
+--------------
+``workers`` dispatcher threads pop jobs and execute them either inline
+(``mode="thread"``) or in a forked child process (``mode="process"``).
+A process worker writes its result atomically into a spool file and
+exits 0; a child that dies mid-job (nonzero exit, signal, timeout)
+leaves no result, the dispatcher counts it as a crash and *requeues* the
+job with exponential backoff until the spec's retry budget is spent --
+the crash-recovery contract.  Deterministic job failures (exceptions)
+consume the same budget.
+
+Telemetry: every attempt runs in a tracing span, retries/rejections emit
+instants, and ``stats()`` exposes the counter set ``GET /metrics``
+serves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core import tracing
+from ..ioutil import read_json
+from .jobs import Job, JobSpec, JobState, run_job
+from .registry import PlanRegistry
+from .store import ResultStore
+
+__all__ = ["Scheduler", "QueueFullError", "WorkerCrash"]
+
+
+class QueueFullError(RuntimeError):
+    """Backpressure: the bounded queue rejected a submission."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died mid-job (no result produced)."""
+
+
+def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
+                 out_path: str) -> None:
+    """Forked worker body: run the job, spool the outcome atomically.
+
+    Exits 0 with an ``{"ok": ...}`` envelope for both success and
+    deterministic failure; only a genuine crash (or injected
+    ``crash_once``) leaves no file behind.
+    """
+    from ..ioutil import atomic_write_json
+
+    spec = JobSpec.from_dict(spec_dict)
+    registry = PlanRegistry(registry_root)
+    try:
+        result = run_job(spec, registry=registry, attempt=attempt, in_child=True)
+        payload = {"ok": True, "result": result,
+                   "registry_counters": registry.counters()}
+    except BaseException as exc:  # noqa: BLE001 - the envelope is the report
+        payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                   "registry_counters": registry.counters()}
+    atomic_write_json(out_path, payload)
+    os._exit(0)
+
+
+class Scheduler:
+    """Bounded priority-FIFO scheduler over a pool of workers."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_size: int = 64,
+        registry: Optional[PlanRegistry] = None,
+        store: Optional[ResultStore] = None,
+        mode: str = "thread",
+        retry_base_s: float = 0.05,
+        spool_dir: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if mode not in ("thread", "process"):
+            raise ValueError("mode must be 'thread' or 'process'")
+        self.registry = registry if registry is not None else PlanRegistry()
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.queue_size = queue_size
+        self.mode = mode
+        self.retry_base_s = retry_base_s
+        self._spool_dir = spool_dir
+        self._heap: List[tuple] = []  # (-priority, seq, job_id)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # submission order (listing)
+        self._cv = threading.Condition()
+        self._seq = 0
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+        # -- counters (all guarded by _cv) --
+        self.n_submitted = 0
+        self.n_dedup = 0
+        self.n_store_hits = 0
+        self.n_rejected = 0
+        self.n_executed = 0
+        self.n_retries = 0
+        self.n_crashes = 0
+        self.n_completed = 0
+        self.n_failed = 0
+        self.n_cancelled = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "Scheduler":
+        if self._threads:
+            return self
+        if self.mode == "process" and self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        for i in range(self.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue a spec; dedups, serves from store, or rejects when full."""
+        with self._cv:
+            self.n_submitted += 1
+            existing = self._jobs.get(spec.job_id)
+            if existing is not None and existing.state != JobState.FAILED:
+                existing.dedup_count += 1
+                self.n_dedup += 1
+                return existing
+            cached = self.store.get(spec.job_id)
+            job = Job(spec)
+            if cached is not None:
+                job.state = JobState.DONE
+                job.result = cached
+                job.from_store = True
+                job.finished_at = time.time()
+                self.n_store_hits += 1
+                self.n_completed += 1
+                self._register(job)
+                return job
+            queued = sum(
+                1 for j in self._jobs.values() if j.state == JobState.QUEUED
+            )
+            if queued >= self.queue_size:
+                self.n_rejected += 1
+                reason = (
+                    f"queue full ({queued}/{self.queue_size} jobs queued); "
+                    f"retry after in-flight jobs drain"
+                )
+                rec = tracing.active()
+                if rec is not None:
+                    rec.instant("job.rejected", "service",
+                                args={"id": spec.job_id[:12]})
+                raise QueueFullError(reason)
+            self._register(job)
+            self._push(job)
+            self._cv.notify()
+            return job
+
+    def _register(self, job: Job) -> None:
+        if job.id not in self._jobs:  # a FAILED job may be resubmitted
+            self._order.append(job.id)
+        self._jobs[job.id] = job
+
+    def _push(self, job: Job) -> None:
+        heapq.heappush(self._heap, (-job.spec.priority, self._seq, job.id))
+        self._seq += 1
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (running/terminal jobs are not cancellable)."""
+        with self._cv:
+            job = self._jobs[job_id]
+            if job.state != JobState.QUEUED:
+                raise ValueError(f"job {job_id} is {job.state}, not cancellable")
+            job.transition(JobState.CANCELLED)
+            self.n_cancelled += 1
+            return job
+
+    # -- queries ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._cv:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._cv:
+            return [self._jobs[i] for i in self._order]
+
+    def wait(self, job_id: str, timeout: float = 60.0) -> Job:
+        """Block until a job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while True:
+                job = self._jobs[job_id]
+                if job.terminal:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"job {job_id} still {job.state}")
+                self._cv.wait(timeout=min(remaining, 0.5))
+
+    def join(self, timeout: float = 120.0) -> None:
+        """Block until every submitted job is terminal."""
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while any(not j.terminal for j in self._jobs.values()):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("jobs still in flight")
+                self._cv.wait(timeout=min(remaining, 0.5))
+
+    def stats(self) -> Dict[str, object]:
+        with self._cv:
+            states: Dict[str, int] = {s: 0 for s in JobState.ALL}
+            for j in self._jobs.values():
+                states[j.state] += 1
+            return {
+                "mode": self.mode,
+                "workers": self.workers,
+                "queue_size": self.queue_size,
+                "submitted": self.n_submitted,
+                "deduplicated": self.n_dedup,
+                "store_hits": self.n_store_hits,
+                "rejected": self.n_rejected,
+                "executed": self.n_executed,
+                "retries": self.n_retries,
+                "worker_crashes": self.n_crashes,
+                "completed": self.n_completed,
+                "failed": self.n_failed,
+                "cancelled": self.n_cancelled,
+                "states": states,
+            }
+
+    # -- execution -------------------------------------------------------------
+
+    def _next_job(self) -> Optional[Job]:
+        """Pop the highest-priority queued job (caller holds the lock)."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs[job_id]
+            if job.state == JobState.QUEUED:
+                return job
+        return None
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                job = self._next_job()
+                while job is None and not self._stopping:
+                    self._cv.wait(timeout=0.2)
+                    job = self._next_job()
+                if job is None:  # stopping and drained
+                    return
+                job.transition(JobState.RUNNING)
+                job.attempts += 1
+                attempt = job.attempts
+                self.n_executed += 1
+            self._run_attempt(job, attempt)
+
+    def _run_attempt(self, job: Job, attempt: int) -> None:
+        try:
+            with tracing.span(
+                f"attempt {job.id[:12]}#{attempt}", "service",
+                args={"kind": job.spec.kind, "mode": self.mode},
+            ):
+                if self.mode == "process":
+                    result = self._execute_in_child(job.spec, attempt)
+                else:
+                    result = run_job(job.spec, registry=self.registry,
+                                     attempt=attempt)
+        except Exception as exc:  # noqa: BLE001 - converted to job outcome
+            self._on_failure(job, attempt, exc)
+            return
+        self.store.put(job.id, result)
+        with self._cv:
+            job.result = result
+            job.transition(JobState.DONE)
+            self.n_completed += 1
+            self._cv.notify_all()
+
+    def _execute_in_child(self, spec: JobSpec, attempt: int) -> dict:
+        import multiprocessing as mp
+
+        assert self._spool_dir is not None
+        out_path = os.path.join(
+            self._spool_dir, f"{spec.job_id}.{attempt}.{os.getpid()}.json"
+        )
+        ctx = mp.get_context("fork")
+        proc = ctx.Process(
+            target=_child_entry,
+            args=(spec.to_dict(), attempt, self.registry.root, out_path),
+        )
+        proc.start()
+        proc.join(timeout=spec.timeout_s)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+            raise WorkerCrash(f"worker timed out after {spec.timeout_s}s")
+        payload = read_json(out_path)
+        try:
+            os.unlink(out_path)
+        except OSError:
+            pass
+        if payload is None:
+            raise WorkerCrash(
+                f"worker died mid-job (exit code {proc.exitcode}, no result)"
+            )
+        self.registry.merge_counters(payload.get("registry_counters") or {})
+        if not payload.get("ok"):
+            raise RuntimeError(payload.get("error") or "job failed in worker")
+        return payload["result"]
+
+    def _on_failure(self, job: Job, attempt: int, exc: Exception) -> None:
+        crashed = isinstance(exc, WorkerCrash)
+        retryable = attempt <= job.spec.max_retries
+        rec = tracing.active()
+        if rec is not None:
+            rec.instant("job.crash" if crashed else "job.error", "service",
+                        args={"id": job.id[:12], "attempt": attempt,
+                              "retry": retryable})
+        if retryable:
+            # Exponential backoff before the requeue; sleeping outside the
+            # lock keeps the other workers dispatching.
+            time.sleep(self.retry_base_s * (2 ** (attempt - 1)))
+        with self._cv:
+            if crashed:
+                self.n_crashes += 1
+            if retryable:
+                self.n_retries += 1
+                job.error = f"attempt {attempt}: {exc}"
+                job.transition(JobState.QUEUED)
+                self._push(job)
+                self._cv.notify()
+            else:
+                job.error = (
+                    f"attempt {attempt}: {exc} (retry budget "
+                    f"{job.spec.max_retries} exhausted)"
+                )
+                job.transition(JobState.FAILED)
+                self.n_failed += 1
+                self._cv.notify_all()

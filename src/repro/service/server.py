@@ -1,0 +1,153 @@
+"""Stdlib HTTP serving layer for the solve service.
+
+A ``ThreadingHTTPServer`` JSON API over a :class:`~repro.service.
+scheduler.Scheduler` -- no dependencies beyond the standard library:
+
+========  ====================  =========================================
+Method    Path                  Meaning
+========  ====================  =========================================
+POST      ``/jobs``             submit a JobSpec (JSON body); 202 with
+                                the job record, 400 on an invalid spec,
+                                503 + reason under backpressure
+GET       ``/jobs``             list submitted jobs (summaries)
+GET       ``/jobs/<id>``        one job, including its result when done
+DELETE    ``/jobs/<id>``        cancel a queued job (409 if not queued)
+GET       ``/metrics``          scheduler + registry + store + substrate
+                                counters (the observability rollup)
+GET       ``/registry``         persistent plan-registry listing
+GET       ``/healthz``          liveness probe
+========  ====================  =========================================
+
+``make_server(scheduler, host, port)`` binds (port 0 picks an ephemeral
+port -- used by tests and the CI smoke job) and returns the server; the
+caller drives ``serve_forever``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .jobs import JobSpec
+from .scheduler import QueueFullError, Scheduler
+
+__all__ = ["ServiceServer", "make_server"]
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """HTTP server carrying its scheduler (handlers reach it via
+    ``self.server.scheduler``)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, addr: Tuple[str, int], scheduler: Scheduler):
+        super().__init__(addr, _Handler)
+        self.scheduler = scheduler
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default; tracing covers it
+        pass
+
+    def _send(self, code: int, payload) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw)
+
+    @property
+    def _sched(self) -> Scheduler:
+        return self.server.scheduler
+
+    def _job_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return parts[1]
+        return None
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_POST(self) -> None:
+        if self.path.split("?")[0] != "/jobs":
+            self._send(404, {"error": f"no such endpoint: POST {self.path}"})
+            return
+        try:
+            spec = JobSpec.from_dict(self._read_body())
+        except (ValueError, TypeError) as exc:
+            self._send(400, {"error": f"invalid job spec: {exc}"})
+            return
+        try:
+            job = self._sched.submit(spec)
+        except QueueFullError as exc:
+            self._send(503, {"error": exc.reason, "rejected": True})
+            return
+        self._send(202, job.to_dict(include_result=False))
+
+    def do_GET(self) -> None:
+        path = self.path.split("?")[0]
+        job_id = self._job_path_id()
+        if job_id is not None:
+            job = self._sched.get(job_id)
+            if job is None:
+                self._send(404, {"error": f"unknown job {job_id}"})
+            else:
+                self._send(200, job.to_dict())
+            return
+        if path == "/jobs":
+            self._send(200, {
+                "jobs": [j.to_dict(include_result=False)
+                         for j in self._sched.jobs()],
+            })
+        elif path == "/metrics":
+            from ..machine.counters import SUBSTRATE_COUNTERS
+
+            self._send(200, {
+                "scheduler": self._sched.stats(),
+                "registry": self._sched.registry.counters(),
+                "store": self._sched.store.counters(),
+                "substrate": SUBSTRATE_COUNTERS.snapshot(),
+            })
+        elif path == "/registry":
+            self._send(200, {"plans": self._sched.registry.entries()})
+        elif path == "/healthz":
+            self._send(200, {"ok": True})
+        else:
+            self._send(404, {"error": f"no such endpoint: GET {path}"})
+
+    def do_DELETE(self) -> None:
+        job_id = self._job_path_id()
+        if job_id is None:
+            self._send(404, {"error": f"no such endpoint: DELETE {self.path}"})
+            return
+        job = self._sched.get(job_id)
+        if job is None:
+            self._send(404, {"error": f"unknown job {job_id}"})
+            return
+        try:
+            self._sched.cancel(job_id)
+        except ValueError as exc:
+            self._send(409, {"error": str(exc)})
+            return
+        self._send(200, job.to_dict(include_result=False))
+
+
+def make_server(scheduler: Scheduler, host: str = "127.0.0.1",
+                port: int = 0) -> ServiceServer:
+    """Bind the JSON API (port 0 = ephemeral; read ``server_port``)."""
+    return ServiceServer((host, port), scheduler)

@@ -1,0 +1,105 @@
+"""Content-addressed result store with dedup semantics.
+
+Results are keyed by the content-addressed job id (a hash of the spec's
+computational fields), so *identical* job specs map to one stored
+result: the scheduler consults the store before executing and serves
+repeats from it bit-identically -- ``run_job`` is deterministic and the
+stored JSON round-trips floats exactly, so a cached response compares
+equal to a fresh execution.
+
+With a ``root`` directory (see ``REPRO_RESULT_DIR``) results persist
+across restarts, written atomically; without one the store is a
+process-local dict with the same interface.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..ioutil import atomic_write_json, read_json
+
+__all__ = ["ResultStore", "STORE_VERSION"]
+
+#: Bump to invalidate persisted results (payload format change).
+STORE_VERSION = 1
+
+
+class ResultStore:
+    """Job-id -> result-dict map, optionally persisted one file per id."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root
+        self._mem: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        if root:
+            os.makedirs(root, exist_ok=True)
+
+    def _path(self, job_id: str) -> Optional[str]:
+        return os.path.join(self.root, f"result-{job_id}.json") if self.root else None
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The stored result, counting the lookup as a hit or miss."""
+        with self._lock:
+            doc = self._mem.get(job_id)
+        if doc is None:
+            path = self._path(job_id)
+            if path is not None:
+                disk = read_json(path)
+                if disk and disk.get("version") == STORE_VERSION:
+                    doc = disk
+                    with self._lock:
+                        self._mem[job_id] = doc
+        with self._lock:
+            if doc is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return None if doc is None else doc["result"]
+
+    def put(self, job_id: str, result: Dict[str, Any]) -> None:
+        doc = {"version": STORE_VERSION, "id": job_id, "result": result}
+        with self._lock:
+            self._mem[job_id] = doc
+            self.puts += 1
+        path = self._path(job_id)
+        if path is not None:
+            try:
+                atomic_write_json(path, doc)
+            except OSError:
+                pass  # persistence is best-effort
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            if job_id in self._mem:
+                return True
+        path = self._path(job_id)
+        return path is not None and os.path.exists(path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            ids = set(self._mem)
+        if self.root and os.path.isdir(self.root):
+            for fname in os.listdir(self.root):
+                if fname.startswith("result-") and fname.endswith(".json"):
+                    ids.add(fname[len("result-"):-len(".json")])
+        return len(ids)
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            ids = set(self._mem)
+        if self.root and os.path.isdir(self.root):
+            for fname in os.listdir(self.root):
+                if fname.startswith("result-") and fname.endswith(".json"):
+                    ids.add(fname[len("result-"):-len(".json")])
+        return sorted(ids)
+
+    def counters(self) -> Dict[str, int]:
+        entries = len(self)
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "puts": self.puts, "entries": entries}

@@ -183,3 +183,91 @@ class TestPerfGroupFlag:
         out = capsys.readouterr().out
         assert "Region solve, Group WORK" in out
         assert "RETIRED_FLOPS" in out
+
+
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()  # "repro <semver>"
+
+    def test_version_matches_package_metadata(self):
+        from repro.cli import package_version
+
+        v = package_version()
+        assert v and v[0].isdigit()
+
+
+class TestEnvCommand:
+    def test_table_lists_every_flag(self, capsys):
+        from repro import config
+
+        rc = main(["env"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in config.FLAGS:
+            assert name in out
+        assert "description" in out.splitlines()[0]
+
+    def test_json_output(self, capsys, monkeypatch):
+        from repro import config
+
+        monkeypatch.setenv("REPRO_TUNE_WORKERS", "3")
+        rc = main(["env", "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["flag"] for r in rows} == set(config.FLAGS)
+        by_flag = {r["flag"]: r for r in rows}
+        assert by_flag["REPRO_TUNE_WORKERS"]["value"] == "3"
+
+
+class TestSubmitCommand:
+    def test_submit_wait_roundtrip(self, capsys):
+        import threading
+
+        from repro.service import Scheduler, make_server
+
+        sched = Scheduler(workers=2).start()
+        server = make_server(sched, port=0)
+        t = threading.Thread(target=server.serve_forever, daemon=True)
+        t.start()
+        url = f"http://127.0.0.1:{server.server_port}"
+        try:
+            rc = main(["submit", "--url", url, "--preset", "vacuum",
+                       "--grid", "10", "--wavelength", "10", "--tol", "1e-4",
+                       "--max-steps", "20", "--threads", "2", "--wait"])
+        finally:
+            server.shutdown()
+            server.server_close()
+            sched.stop()
+            t.join(timeout=5.0)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done after" in out and "checksum:" in out
+
+    def test_submit_validates_locally(self):
+        # An invalid spec never leaves the process (no server needed).
+        with pytest.raises(ValueError):
+            main(["submit", "--url", "http://127.0.0.1:1", "--grid", "3"])
+
+
+class TestCampaignCommand:
+    def test_in_process_sweep_with_registry_reuse(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.json"
+        rc = main(["campaign", "--preset", "absorber", "--grid", "16",
+                   "--threads", "2", "--tol", "1e-4", "--max-steps", "20",
+                   "--wavelengths", "10,12", "--thicknesses", "0.2",
+                   "--workers", "2", "--out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out and "registry" in out
+        # One tuning for the whole sweep: every job after the first is a
+        # plan-registry hit (the compile-once/serve-many contract).
+        assert "1 misses" in out
+        rows = json.loads(out_path.read_text())
+        assert len(rows) == 2
+        assert all(r["state"] == "done" for r in rows)
+        assert sum(1 for r in rows if r["registry_hit"]) == 1

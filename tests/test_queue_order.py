@@ -1,0 +1,145 @@
+"""TileQueue under out-of-order completion (multi-worker schedules).
+
+The FIFO tile queue of the paper is exercised elsewhere through
+``drain_serial`` (one worker, pop-complete-pop).  Real TGs complete
+tiles *out of order*: several tiles are in flight at once and a later
+pop may finish first.  These tests drive that protocol directly and pin
+down the two properties the executors rely on: every dependent is
+enqueued exactly once (by the completion that clears its last
+predecessor), and the pop order is a deterministic function of the
+completion schedule.
+"""
+
+import pytest
+
+from repro.core.plan import TilingPlan
+from repro.core.queue import TileQueue
+
+
+def _plan(ny=24, nz=16, timesteps=8, dw=4, bz=2):
+    return TilingPlan.build(ny=ny, nz=nz, timesteps=timesteps, dw=dw, bz=bz)
+
+
+def _drain_with_workers(queue, n_workers, finish_policy):
+    """Run the protocol with ``n_workers`` slots; ``finish_policy`` picks
+    which in-flight tile completes next.  Returns (pop_order,
+    completion_order, enqueue_events)."""
+    pops, completions, enqueued = [], [], []
+    in_flight = []
+    while not queue.exhausted:
+        # Fill the worker slots greedily (TGs pop as soon as they idle).
+        while len(in_flight) < n_workers:
+            idx = queue.pop()
+            if idx is None:
+                break
+            pops.append(idx)
+            in_flight.append(idx)
+        if not in_flight:
+            raise AssertionError("deadlock: nothing in flight, queue empty")
+        victim = finish_policy(in_flight)
+        in_flight.remove(victim)
+        completions.append(victim)
+        enqueued.extend(queue.complete(victim))
+    return pops, completions, enqueued
+
+
+class TestOutOfOrderCompletion:
+    @pytest.mark.parametrize("n_workers", [2, 3, 4])
+    def test_lifo_completion_enqueues_dependents_exactly_once(self, n_workers):
+        plan = _plan()
+        queue = TileQueue(plan)
+        # Worst-case inversion: the most recently popped tile always
+        # finishes first (pure LIFO completion).
+        pops, _completions, enqueued = _drain_with_workers(
+            queue, n_workers, finish_policy=lambda fl: fl[-1]
+        )
+        assert len(pops) == len(plan.tiles)
+        assert len(set(pops)) == len(plan.tiles)  # no tile popped twice
+        # Every non-root tile was enqueued by exactly one completion.
+        roots = [idx for idx in plan.tiles if not plan.preds[idx]]
+        assert sorted(enqueued) == sorted(set(plan.tiles) - set(roots))
+        assert queue.exhausted and queue.done_count == len(plan.tiles)
+
+    def test_out_of_order_respects_dependencies(self):
+        plan = _plan()
+        queue = TileQueue(plan)
+        done = set()
+        in_flight = []
+        while not queue.exhausted:
+            while len(in_flight) < 3:
+                idx = queue.pop()
+                if idx is None:
+                    break
+                # A tile may only become ready once every predecessor
+                # has completed.
+                assert set(plan.preds[idx]) <= done
+                in_flight.append(idx)
+            victim = in_flight.pop(0)
+            done.add(victim)
+            queue.complete(victim)
+        assert done == set(plan.tiles)
+
+    def test_fixed_schedule_is_deterministic(self):
+        """Same plan + same completion schedule -> identical pop order,
+        run after run (the FIFO queue has no hidden state)."""
+        plan = _plan()
+
+        def run():
+            queue = TileQueue(plan)
+            # Deterministic mixed policy: alternate finishing the oldest
+            # and the newest in-flight tile.
+            toggle = [0]
+
+            def policy(fl):
+                toggle[0] ^= 1
+                return fl[0] if toggle[0] else fl[-1]
+
+            return _drain_with_workers(queue, 3, policy)
+
+        first = run()
+        for _ in range(3):
+            assert run() == first
+
+    def test_serial_and_parallel_complete_same_tile_set(self):
+        plan = _plan()
+        serial = TileQueue(plan).drain_serial()
+        pops, _, _ = _drain_with_workers(
+            TileQueue(plan), 4, finish_policy=lambda fl: fl[-1]
+        )
+        assert sorted(pops) == sorted(serial)
+
+    def test_initial_ready_set_is_sorted(self):
+        plan = _plan()
+        queue = TileQueue(plan)
+        roots = sorted(idx for idx in plan.tiles if not plan.preds[idx])
+        assert [queue.pop() for _ in range(len(roots))] == roots
+
+
+class TestProtocolErrors:
+    def test_complete_requires_in_flight(self):
+        queue = TileQueue(_plan())
+        some_tile = next(iter(queue.plan.tiles))
+        with pytest.raises(ValueError, match="not in flight"):
+            queue.complete(some_tile)
+
+    def test_double_complete_rejected(self):
+        queue = TileQueue(_plan())
+        idx = queue.pop()
+        queue.complete(idx)
+        with pytest.raises(ValueError, match="not in flight"):
+            queue.complete(idx)
+
+    def test_pop_on_empty_returns_none(self):
+        queue = TileQueue(_plan())
+        drained = [queue.pop() for _ in range(queue.ready_count)]
+        assert all(d is not None for d in drained)
+        assert queue.pop() is None  # momentarily empty, not an error
+
+    def test_drain_serial_matches_fifo_order_property(self):
+        plan = _plan()
+        order = TileQueue(plan).drain_serial()
+        seen = set()
+        for idx in order:
+            assert set(plan.preds[idx]) <= seen
+            seen.add(idx)
+        assert seen == set(plan.tiles)

@@ -1,0 +1,188 @@
+"""End-to-end tests of the HTTP serving layer (ephemeral port)."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import JobSpec, Scheduler, make_server, run_job
+
+FAST_SOLVE = dict(kind="solve", preset="vacuum", grid=10, wavelength=10.0,
+                  tol=1e-4, max_steps=20)
+FAST_TUNE = dict(kind="tune", grid=8, threads=2)
+
+
+def _request(method, url, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read() or b"{}")
+
+
+def _poll(base, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        status, doc = _request("GET", f"{base}/jobs/{job_id}")
+        assert status == 200
+        if doc["state"] in ("done", "failed", "cancelled"):
+            return doc
+        assert time.monotonic() < deadline, f"job stuck {doc['state']}"
+        time.sleep(0.05)
+
+
+@pytest.fixture()
+def service():
+    """A live server on an ephemeral port, torn down after the test."""
+    sched = Scheduler(workers=2, retry_base_s=0.001).start()
+    server = make_server(sched, port=0)  # port 0: the OS picks one
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_port}"
+    try:
+        yield base, sched
+    finally:
+        server.shutdown()
+        server.server_close()
+        sched.stop()
+        thread.join(timeout=5.0)
+
+
+class TestSubmission:
+    def test_submit_and_complete(self, service):
+        base, _ = service
+        status, doc = _request("POST", f"{base}/jobs", FAST_SOLVE)
+        assert status == 202
+        assert doc["state"] == "queued" and "result" not in doc
+        done = _poll(base, doc["id"])
+        assert done["state"] == "done"
+        assert done["result"]["kind"] == "solve"
+
+    def test_served_result_is_bit_identical(self, service):
+        base, _ = service
+        _, doc = _request("POST", f"{base}/jobs", FAST_SOLVE)
+        served = _poll(base, doc["id"])["result"]
+        assert served == run_job(JobSpec(**FAST_SOLVE))
+
+    def test_duplicate_submission_coalesces(self, service):
+        base, sched = service
+        _, first = _request("POST", f"{base}/jobs", FAST_SOLVE)
+        _, second = _request("POST", f"{base}/jobs",
+                             dict(FAST_SOLVE, priority=3))
+        assert second["id"] == first["id"]
+        assert second["dedup_count"] == 1
+        _poll(base, first["id"])
+        assert sched.stats()["executed"] == 1
+
+    def test_invalid_spec_is_400(self, service):
+        base, _ = service
+        for bad in (dict(FAST_SOLVE, grid=3),
+                    dict(FAST_SOLVE, frobnicate=1),
+                    dict(FAST_SOLVE, kind="dance")):
+            status, doc = _request("POST", f"{base}/jobs", bad)
+            assert status == 400
+            assert "invalid job spec" in doc["error"]
+
+    def test_empty_body_is_400(self, service):
+        base, _ = service
+        status, _doc = _request("POST", f"{base}/jobs", None)
+        assert status == 400
+
+    def test_backpressure_is_503(self):
+        # A scheduler that is never started: queued jobs pile up and the
+        # bounded queue rejects with 503 + reason.
+        sched = Scheduler(workers=1, queue_size=1)
+        server = make_server(sched, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_port}"
+        try:
+            status, _ = _request("POST", f"{base}/jobs", FAST_TUNE)
+            assert status == 202
+            status, doc = _request("POST", f"{base}/jobs",
+                                   dict(FAST_TUNE, grid=10))
+            assert status == 503
+            assert doc["rejected"] and "queue full" in doc["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+
+class TestQueries:
+    def test_job_listing(self, service):
+        base, _ = service
+        _request("POST", f"{base}/jobs", FAST_TUNE)
+        _request("POST", f"{base}/jobs", dict(FAST_TUNE, grid=10))
+        status, doc = _request("GET", f"{base}/jobs")
+        assert status == 200 and len(doc["jobs"]) == 2
+        assert all("result" not in j for j in doc["jobs"])
+
+    def test_unknown_job_is_404(self, service):
+        base, _ = service
+        status, doc = _request("GET", f"{base}/jobs/ffffffffffffffffffffffff")
+        assert status == 404 and "unknown job" in doc["error"]
+
+    def test_unknown_endpoint_is_404(self, service):
+        base, _ = service
+        assert _request("GET", f"{base}/teapot")[0] == 404
+        assert _request("POST", f"{base}/teapot", {})[0] == 404
+
+    def test_healthz(self, service):
+        base, _ = service
+        assert _request("GET", f"{base}/healthz") == (200, {"ok": True})
+
+    def test_metrics_rollup(self, service):
+        base, _ = service
+        _, doc = _request("POST", f"{base}/jobs", FAST_TUNE)
+        _poll(base, doc["id"])
+        status, m = _request("GET", f"{base}/metrics")
+        assert status == 200
+        assert m["scheduler"]["completed"] >= 1
+        assert set(m) == {"scheduler", "registry", "store", "substrate"}
+        assert m["store"]["puts"] >= 1
+        assert "states" in m["scheduler"]
+
+    def test_registry_endpoint(self, service):
+        base, _ = service
+        # A tuned job populates the registry through get_or_tune.
+        _, doc = _request("POST", f"{base}/jobs",
+                          dict(kind="tune", grid=16, threads=2))
+        done = _poll(base, doc["id"])
+        assert done["result"]["point"]["dw"] >= 4
+        status, reg = _request("GET", f"{base}/registry")
+        assert status == 200
+        assert len(reg["plans"]) == 1
+        assert reg["plans"][0]["feasible"]
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        sched = Scheduler(workers=1, queue_size=8)  # not started
+        server = make_server(sched, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_port}"
+        try:
+            _, doc = _request("POST", f"{base}/jobs", FAST_TUNE)
+            status, out = _request("DELETE", f"{base}/jobs/{doc['id']}")
+            assert status == 200 and out["state"] == "cancelled"
+            # A second cancel is a conflict: the job is already terminal.
+            status, out = _request("DELETE", f"{base}/jobs/{doc['id']}")
+            assert status == 409
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def test_cancel_unknown_job_is_404(self, service):
+        base, _ = service
+        assert _request("DELETE", f"{base}/jobs/feedface")[0] == 404
