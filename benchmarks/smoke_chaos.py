@@ -1,0 +1,169 @@
+"""CI chaos smoke test: crash/resume and corruption recovery, end to end.
+
+Exercises the resilience layer the way an unlucky production day would:
+
+1. **Crash/resume** -- a seeded fault schedule (``REPRO_FAULTS``) kills a
+   forked worker mid-solve; the scheduler retries, the retry resumes
+   from the checkpoint, and the result must be bit-identical to an
+   undisturbed in-process run of the same spec.
+2. **Corrupted registry** -- a tuned-plan cache entry is scribbled over;
+   the next lookup must quarantine it to ``*.corrupt`` and retune to the
+   identical plan.
+3. **Service health under drain** -- a live ``repro serve`` process
+   reports the resilience fields on ``/healthz`` and ``/metrics``, and a
+   SIGTERM drains it to a zero exit.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/smoke_chaos.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+CHAOS_SEED = 20260806
+
+SOLVE_SPEC = {"kind": "solve", "preset": "vacuum", "grid": 10,
+              "wavelength": 10.0, "tol": 1e-12, "max_steps": 120,
+              "max_retries": 2, "threads": 2}
+
+
+def request(method: str, url: str, payload=None):
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(url, data=data, method=method,
+                                 headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as e:
+        return e.code, json.loads(e.read() or b"{}")
+
+
+def check_crash_resume() -> str:
+    from repro.resilience import faults
+    from repro.service import JobSpec, Scheduler, run_job
+    from repro.service.jobs import JobState
+
+    spec = JobSpec.from_dict(SOLVE_SPEC)
+    clean = run_job(spec)
+
+    plan = faults.FaultPlan.seeded(CHAOS_SEED, "solver.sweep", "crash",
+                                   max_after=6)
+    os.environ["REPRO_FAULTS"] = plan.env_value()
+    os.environ["REPRO_CHECKPOINT_EVERY"] = "40"
+    ckpt_dir = tempfile.mkdtemp(prefix="repro-chaos-ckpt-")
+    sched = Scheduler(workers=1, mode="process", retry_base_s=0.001,
+                      checkpoint_dir=ckpt_dir).start()
+    try:
+        job = sched.submit(JobSpec.from_dict(SOLVE_SPEC))
+        sched.wait(job.id, timeout=180.0)
+        stats = sched.stats()
+        assert job.state == JobState.DONE, f"chaos job: {job.error}"
+        assert job.result == clean, "resumed result differs from clean run"
+        assert stats["worker_crashes"] == 1, stats
+        assert job.attempts == 2, f"attempts {job.attempts}"
+        assert stats["completed"] == 1 and stats["failed"] == 0, stats
+    finally:
+        sched.stop()
+        os.environ.pop("REPRO_FAULTS", None)
+        os.environ.pop("REPRO_CHECKPOINT_EVERY", None)
+    resumed = (f"resumed from sweep {job.resumed_from}"
+               if job.resumed_from is not None else "restarted from sweep 0")
+    return (f"crash/resume: schedule {plan.env_value()}, 1 worker crash, "
+            f"{resumed}, result bit-identical")
+
+
+def check_corrupt_registry() -> str:
+    from repro.ioutil import corrupt_file
+    from repro.service import JobSpec, PlanRegistry, run_job
+
+    root = tempfile.mkdtemp(prefix="repro-chaos-reg-")
+    spec = JobSpec(kind="tune", grid=8, threads=2)
+    first = run_job(spec, registry=PlanRegistry(root))
+
+    entry = next(f for f in os.listdir(root) if f.endswith(".json"))
+    corrupt_file(os.path.join(root, entry))
+    again = run_job(spec, registry=PlanRegistry(root))
+
+    quarantined = [f for f in os.listdir(root) if f.endswith(".corrupt")]
+    assert quarantined, "corrupt registry entry was not quarantined"
+    assert again == first, "retuned plan differs from the original"
+    return (f"corrupt registry: entry quarantined to {quarantined[0]}, "
+            "retuned plan identical")
+
+
+def check_service_health() -> str:
+    env = {**os.environ, "PYTHONUNBUFFERED": "1",
+           "REPRO_CHECKPOINT_EVERY": "40"}
+    queue_file = os.path.join(tempfile.mkdtemp(prefix="repro-chaos-q-"),
+                              "queue.json")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--workers", "1", "--mode", "process",
+         "--queue-file", queue_file, "--drain-timeout", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        m = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert m, f"no port in serve banner: {banner!r}"
+        base = f"http://127.0.0.1:{m.group(1)}"
+
+        status, health = request("GET", f"{base}/healthz")
+        assert status == 200 and health["ok"] is True, health
+        for field in ("draining", "queue_depth", "running",
+                      "checkpoint_lag_s"):
+            assert field in health, f"/healthz missing {field}: {health}"
+        assert health["draining"] is False
+
+        status, doc = request("POST", f"{base}/jobs", SOLVE_SPEC)
+        assert status == 202, f"submit -> {status}"
+        deadline = time.monotonic() + 120.0
+        while True:
+            _, job = request("GET", f"{base}/jobs/{doc['id']}")
+            if job["state"] in ("done", "failed", "cancelled"):
+                break
+            assert time.monotonic() < deadline, f"job stuck {job['state']}"
+            time.sleep(0.1)
+        assert job["state"] == "done", job.get("error")
+
+        status, metrics = request("GET", f"{base}/metrics")
+        assert status == 200
+        assert "resilience" in metrics, sorted(metrics)
+        counters = metrics["resilience"]["counters"]
+        assert counters.get("checkpoints_written", 0) >= 1, counters
+
+        proc.send_signal(signal.SIGTERM)
+        out = proc.stdout.read()
+        proc.wait(timeout=60.0)
+        assert proc.returncode == 0, f"serve exited {proc.returncode}: {out}"
+        assert "shutdown: drained" in out, out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    return ("service: /healthz + /metrics resilience fields present, "
+            "SIGTERM drained to exit 0")
+
+
+def main() -> int:
+    for check in (check_crash_resume, check_corrupt_registry,
+                  check_service_health):
+        print(f"chaos smoke: {check()}", flush=True)
+    print("chaos smoke: all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,7 +73,8 @@ def main() -> int:
     proc, base = boot_server()
     try:
         status, doc = request("GET", f"{base}/healthz")
-        assert (status, doc) == (200, {"ok": True}), "healthz failed"
+        assert status == 200 and doc["ok"] is True, "healthz failed"
+        assert doc["draining"] is False and "checkpoint_lag_s" in doc
 
         # Three submissions: plain solve, tuned tiled solve, duplicate.
         status, a = request("POST", f"{base}/jobs", SOLVE_SPEC)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands cover the library's workflows::
+Twelve subcommands cover the library's workflows::
 
     repro solve    --preset absorber --grid 48 --wavelength 12 --tol 1e-5
     repro tune     --grid 384 --threads 18 --variant mwd
@@ -12,11 +12,20 @@ Eleven subcommands cover the library's workflows::
     repro serve    --port 8642 --workers 4 --registry plans/
     repro submit   --url http://127.0.0.1:8642 --preset tandem --wait
     repro campaign --preset tandem --wavelengths 10,14 --thicknesses 0.1,0.2
+    repro chaos    --scenario crash-resume --seed 7
     repro env
 
-The last four are the solve service (see :mod:`repro.service`): a job
-scheduler + persistent plan registry behind a stdlib HTTP JSON API, and
-``repro env``, which documents every ``REPRO_*`` environment flag.
+``serve``/``submit``/``campaign`` are the solve service (see
+:mod:`repro.service`): a job scheduler + persistent plan registry behind
+a stdlib HTTP JSON API.  ``repro serve`` shuts down gracefully on
+SIGTERM/SIGINT: it stops accepting requests, drains in-flight jobs
+(bounded by ``REPRO_DRAIN_TIMEOUT``), spools still-queued jobs to
+``REPRO_QUEUE_FILE`` for the next process, and exits 0.  ``repro
+chaos`` drives the deterministic fault-injection harness
+(:mod:`repro.resilience`) end to end: it kills a worker mid-solve and
+proves the checkpoint resume is bit-identical, and corrupts persisted
+artifacts and proves they quarantine + recompute.  ``repro env``
+documents every ``REPRO_*`` environment flag.
 
 Observability switches:
 
@@ -154,6 +163,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="plan registry dir (default: REPRO_REGISTRY_DIR)")
     sv.add_argument("--results", default=None, metavar="DIR",
                     help="result store dir (default: REPRO_RESULT_DIR)")
+    sv.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                    help="solver checkpoint dir (default: "
+                         "REPRO_CHECKPOINT_DIR; needs "
+                         "REPRO_CHECKPOINT_EVERY > 0)")
+    sv.add_argument("--drain-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="graceful-shutdown drain budget "
+                         "(default: REPRO_DRAIN_TIMEOUT)")
+    sv.add_argument("--queue-file", default=None, metavar="FILE",
+                    help="spool queued jobs here on shutdown and restore "
+                         "them on start (default: REPRO_QUEUE_FILE)")
+
+    ch = sub.add_parser(
+        "chaos",
+        help="drive the fault-injection harness (crash/resume, corruption)",
+    )
+    ch.add_argument("--scenario",
+                    choices=("crash-resume", "corrupt-registry",
+                             "corrupt-store", "all"),
+                    default="all")
+    ch.add_argument("--seed", type=int, default=0,
+                    help="derives the injection point (crash-resume)")
+    ch.add_argument("--grid", type=int, default=12,
+                    help="solve grid for the crash-resume scenario")
+    ch.add_argument("--list-sites", action="store_true",
+                    help="print the named injection sites and exit")
 
     sb = sub.add_parser("submit", help="submit a job to a running service")
     sb.add_argument("--url", default="http://127.0.0.1:8642")
@@ -599,6 +634,10 @@ def _poll_job(url: str, job_id: str, timeout: float) -> dict:
 
 
 def _cmd_serve(args) -> int:
+    import os
+    import signal
+    import threading
+
     from . import config
     from .service import PlanRegistry, ResultStore, Scheduler, make_server
 
@@ -607,8 +646,27 @@ def _cmd_serve(args) -> int:
     sched = Scheduler(
         workers=args.workers, queue_size=args.queue_size,
         registry=registry, store=store, mode=args.mode,
+        checkpoint_dir=args.checkpoint_dir or None,
     ).start()
+    queue_file = args.queue_file or config.queue_file()
+    if queue_file and os.path.exists(queue_file):
+        restored = sched.restore_queue(queue_file)
+        if restored:
+            print(f"restored {restored} queued job(s) from {queue_file}",
+                  flush=True)
     server = make_server(sched, host=args.host, port=args.port)
+
+    def _on_signal(signum, frame):
+        # Flip /healthz to draining and unwind serve_forever.  shutdown()
+        # blocks until the serve loop exits, so it must run off-thread
+        # (the handler fires *inside* that loop's thread).
+        server.draining = True
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
     print(f"repro service on http://{args.host}:{server.server_port} "
           f"({args.workers} {args.mode} workers, queue {args.queue_size}, "
           f"registry {registry.root or 'in-memory'})", flush=True)
@@ -617,8 +675,22 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
-        sched.stop()
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    # Graceful shutdown: no new dispatch, bounded wait for in-flight
+    # jobs, then spool whatever is still queued for the next process.
+    budget = (args.drain_timeout if args.drain_timeout is not None
+              else config.drain_timeout())
+    drained = sched.drain(timeout=budget)
+    spooled = 0
+    if queue_file:
+        spooled = sched.persist_queue(queue_file)
+    server.server_close()
+    sched.stop()
+    line = "drained" if drained else f"drain timed out after {budget:g}s"
+    if spooled:
+        line += f"; spooled {spooled} queued job(s) -> {queue_file}"
+    print(f"shutdown: {line}", flush=True)
     return 0
 
 
@@ -756,6 +828,147 @@ def _cmd_campaign(args) -> int:
     return 0 if all(r["state"] == JobState.DONE for r in rows) else 2
 
 
+def _patched_env(**updates):
+    """Context manager: set/unset env vars (None = unset), restoring on
+    exit -- the chaos scenarios must not leak schedules into the shell."""
+    import os
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _cm():
+        old = {k: os.environ.get(k) for k in updates}
+        try:
+            for k, v in updates.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+            yield
+        finally:
+            for k, v in old.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
+
+    return _cm()
+
+
+def _chaos_crash_resume(seed: int, grid: int) -> bool:
+    """Kill a forked worker at a seeded sweep; prove the retry resumes
+    from the checkpoint and lands on a bit-identical result."""
+    import tempfile
+
+    from .resilience import FaultPlan
+    from .service import Scheduler
+    from .service.jobs import JobSpec, JobState, run_job
+
+    # tol is unreachably tight, so the solve deterministically runs all
+    # 240 sweeps: 12 convergence checks at the fixed cadence of 20.
+    spec = JobSpec(kind="solve", preset="absorber", grid=grid, tol=1e-12,
+                   max_steps=240, max_retries=2)
+    neutral = dict(REPRO_FAULTS=None, REPRO_CHECKPOINT_EVERY=None,
+                   REPRO_CHECKPOINT_DIR=None)
+    with _patched_env(**neutral):
+        clean = run_job(spec)
+
+    plan = FaultPlan.seeded(seed, "solver.sweep", "crash", max_after=12)
+    ckpt_dir = tempfile.mkdtemp(prefix="repro-chaos-ckpt-")
+    print(f"  fault schedule: {plan.env_value()} (seed {seed})")
+    with _patched_env(REPRO_FAULTS=plan.env_value(),
+                      REPRO_CHECKPOINT_EVERY="40",
+                      REPRO_CHECKPOINT_DIR=None):
+        sched = Scheduler(workers=1, mode="process",
+                          checkpoint_dir=ckpt_dir).start()
+        try:
+            job = sched.submit(spec)
+            sched.wait(job.id, timeout=300.0)
+        finally:
+            sched.stop()
+    crashed = sched.n_crashes
+    print(f"  worker crashes: {crashed}, attempts: {job.attempts}, "
+          f"resumed from sweep: {job.resumed_from}")
+    if job.state != JobState.DONE:
+        print(f"  job ended {job.state}: {job.error}")
+        return False
+    if job.result != clean:
+        print("  MISMATCH: resumed result differs from the clean run")
+        return False
+    print("  resumed result is bit-identical to the uninterrupted run "
+          f"(checksum {clean['checksum'][:16]}...)")
+    return crashed >= 1
+
+
+def _chaos_corrupt(which: str) -> bool:
+    """Scribble over a persisted artifact; prove it quarantines to
+    ``*.corrupt`` and the recomputed result is identical."""
+    import glob
+    import os
+    import tempfile
+
+    from .ioutil import corrupt_file
+    from .service import PlanRegistry, ResultStore
+    from .service.jobs import JobSpec, run_job
+
+    root = tempfile.mkdtemp(prefix=f"repro-chaos-{which}-")
+    with _patched_env(REPRO_FAULTS=None):
+        if which == "registry":
+            spec = JobSpec(kind="tune", grid=8, threads=2)
+            first = run_job(spec, registry=PlanRegistry(root))
+            [path] = glob.glob(os.path.join(root, "plan-*.json"))
+            corrupt_file(path)
+            again = run_job(spec, registry=PlanRegistry(root))
+        else:
+            spec = JobSpec(kind="solve", preset="vacuum", grid=10,
+                           wavelength=10.0, tol=1e-4, max_steps=20)
+            first = run_job(spec)
+            ResultStore(root).put(spec.job_id, first)
+            [path] = glob.glob(os.path.join(root, "result-*.json"))
+            corrupt_file(path)
+            fresh = ResultStore(root)
+            if fresh.get(spec.job_id) is not None:
+                print("  corrupt entry was served instead of quarantined")
+                return False
+            again = run_job(spec)
+    if not os.path.exists(path + ".corrupt"):
+        print(f"  {os.path.basename(path)} was not quarantined")
+        return False
+    if first != again:
+        print("  MISMATCH: recomputed result differs")
+        return False
+    print(f"  {os.path.basename(path)} quarantined -> *.corrupt; "
+          f"recomputed result identical")
+    return True
+
+
+def _cmd_chaos(args) -> int:
+    from .resilience import faults
+
+    if args.list_sites:
+        for site in faults.SITES:
+            print(site)
+        return 0
+    scenarios = {
+        "crash-resume": lambda: _chaos_crash_resume(args.seed, args.grid),
+        "corrupt-registry": lambda: _chaos_corrupt("registry"),
+        "corrupt-store": lambda: _chaos_corrupt("store"),
+    }
+    names = list(scenarios) if args.scenario == "all" else [args.scenario]
+    failed = []
+    for name in names:
+        print(f"chaos: {name}")
+        ok = scenarios[name]()
+        print(f"  {'PASS' if ok else 'FAIL'}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(f"chaos: {len(failed)}/{len(names)} scenario(s) failed: "
+              f"{', '.join(failed)}")
+        return 1
+    print(f"chaos: all {len(names)} scenario(s) passed")
+    return 0
+
+
 def _cmd_env(args) -> int:
     from . import config
 
@@ -791,6 +1004,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "campaign": _cmd_campaign,
+        "chaos": _cmd_chaos,
         "env": _cmd_env,
     }
     trace_path = config.trace_path()

@@ -24,9 +24,14 @@ from typing import Dict, List, Optional
 __all__ = [
     "Flag",
     "FLAGS",
+    "checkpoint_dir",
+    "checkpoint_every",
     "describe",
+    "drain_timeout",
+    "faults_schedule",
     "native_build_dir",
     "native_disabled",
+    "queue_file",
     "registry_dir",
     "result_dir",
     "stream_engine",
@@ -85,6 +90,26 @@ FLAGS: Dict[str, Flag] = {
         Flag(
             "REPRO_RESULT_DIR", "(in-memory)", "path",
             "persistent result-store directory for the solve service",
+        ),
+        Flag(
+            "REPRO_CHECKPOINT_EVERY", "0", "int",
+            "sweep cadence between THIIM solver checkpoints (0 = disabled)",
+        ),
+        Flag(
+            "REPRO_CHECKPOINT_DIR", "(disabled)", "path",
+            "directory for solver checkpoint snapshots (crash/resume)",
+        ),
+        Flag(
+            "REPRO_FAULTS", "(none)", "str",
+            "deterministic fault schedule: site:kind[:after_n[:attempt]],...",
+        ),
+        Flag(
+            "REPRO_DRAIN_TIMEOUT", "10", "float",
+            "seconds repro serve waits for in-flight jobs on SIGTERM/SIGINT",
+        ),
+        Flag(
+            "REPRO_QUEUE_FILE", "(disabled)", "path",
+            "spool file persisting queued jobs across graceful restarts",
         ),
     )
 }
@@ -148,3 +173,34 @@ def registry_dir() -> Optional[str]:
 def result_dir() -> Optional[str]:
     """Service result-store root, or ``None`` for in-memory only."""
     return os.environ.get("REPRO_RESULT_DIR") or None
+
+
+def checkpoint_every() -> int:
+    """Checkpoint cadence in sweeps; 0 (or malformed) disables."""
+    try:
+        return max(0, int(os.environ.get("REPRO_CHECKPOINT_EVERY", "0")))
+    except ValueError:
+        return 0
+
+
+def checkpoint_dir() -> Optional[str]:
+    """Checkpoint snapshot root, or ``None`` when checkpointing is off."""
+    return os.environ.get("REPRO_CHECKPOINT_DIR") or None
+
+
+def faults_schedule() -> Optional[str]:
+    """The raw ``REPRO_FAULTS`` schedule (parsed by resilience.faults)."""
+    return os.environ.get("REPRO_FAULTS") or None
+
+
+def drain_timeout() -> float:
+    """Graceful-shutdown drain budget; malformed values fall back to 10s."""
+    try:
+        return max(0.0, float(os.environ.get("REPRO_DRAIN_TIMEOUT", "10")))
+    except ValueError:
+        return 10.0
+
+
+def queue_file() -> Optional[str]:
+    """Queue spool path for graceful restarts, or ``None`` (disabled)."""
+    return os.environ.get("REPRO_QUEUE_FILE") or None

@@ -52,7 +52,8 @@ from functools import lru_cache
 from typing import Callable, List, Sequence, Tuple
 
 from .. import config
-from ..ioutil import atomic_write_json
+from ..ioutil import atomic_write_json, corrupt_file, read_json_checked
+from ..resilience import faults
 from ..machine.counters import SUBSTRATE_COUNTERS, timed_section
 from ..machine.measure import measure_sweep_code_balance, measure_tiled_code_balance
 from ..machine.simulator import SimResult, simulate_sweep, simulate_tiled, tg_efficiency
@@ -215,29 +216,43 @@ def _cache_path(kind: str, spec: MachineSpec, args: tuple) -> str | None:
 
 
 def _cache_get(path: str | None) -> tuple | None:
-    """Returns ``(point,)`` on a hit (the point itself may be None)."""
+    """Returns ``(point,)`` on a hit (the point itself may be None).
+
+    Malformed or checksum-mismatched entries are quarantined to
+    ``<path>.corrupt`` (via :func:`~repro.ioutil.read_json_checked`) and
+    read as a miss, so a scribbled-over cache file costs one re-tune
+    instead of a crash.
+    """
     if path is None or not os.path.exists(path):
         return None
+    if faults.hit("tune_cache.read") == "corrupt":
+        corrupt_file(path)
+    d = read_json_checked(path)
+    if d is None:
+        return None
     try:
-        with open(path, "r", encoding="utf-8") as f:
-            d = json.load(f)
         if d.get("version") != TUNE_CACHE_VERSION:
             return None
         return (_point_from_json(d["point"]),)
-    except (OSError, ValueError, KeyError, TypeError):
-        return None  # unreadable/corrupt entry: recompute
+    except (ValueError, KeyError, TypeError, AttributeError):
+        return None  # schema drift: recompute
 
 
 def _cache_put(path: str | None, point: TunedPoint | None) -> None:
     if path is None:
         return
     try:
+        kind = faults.hit("tune_cache.write")
         # Unique-temp + rename: concurrent tuners (including two *threads*
         # of one process, which a pid-suffixed temp name would collide on)
         # can never interleave a torn cache file.
         atomic_write_json(
-            path, {"version": TUNE_CACHE_VERSION, "point": _point_to_json(point)}
+            path,
+            {"version": TUNE_CACHE_VERSION, "point": _point_to_json(point)},
+            checksum=True,
         )
+        if kind == "corrupt":
+            corrupt_file(path)
     except OSError:
         pass  # read-only or full disk: persistence is best-effort
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..fdfd.coefficients import CoefficientSet
 from ..fdfd.fields import FieldState
 from ..fdfd.kernels import update_e, update_h
+from ..resilience import faults
 from . import tracing
 from .plan import TileIndex, TilingPlan
 from .wavefront import RowJob
@@ -64,6 +65,7 @@ class TiledExecutor:
         self.jobs_done += 1
 
     def execute_tile(self, idx: TileIndex) -> None:
+        faults.hit("tile.execute")
         lups0 = self.lups_done
         with tracing.span(f"tile t={idx[0]} r={idx[1]}", "exec.tile") as sp:
             for job in self.plan.tile_jobs(idx):

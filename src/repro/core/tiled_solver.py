@@ -19,7 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..fdfd.observables import relative_change
-from ..fdfd.thiim import SolveResult, THIIMSolver
+from ..fdfd.thiim import SolveResult, THIIMSolver, divergence_reason
+from ..resilience import faults
+from ..resilience.errors import SolverDiverged
 from .executor import TiledExecutor
 from .plan import TilingPlan
 
@@ -64,24 +66,64 @@ class TiledTHIIM:
             self.executor.run()
             self.steps_done += self.chunk
 
-    def solve(self, tol: float = 1e-6, max_steps: int = 5000) -> SolveResult:
-        """Iterate to the time-harmonic state through the tiled traversal."""
+    def solve(
+        self,
+        tol: float = 1e-6,
+        max_steps: int = 5000,
+        checkpoint=None,
+        on_divergence: str = "return",
+    ) -> SolveResult:
+        """Iterate to the time-harmonic state through the tiled traversal.
+
+        ``checkpoint``/``on_divergence`` mirror
+        :meth:`repro.fdfd.thiim.THIIMSolver.solve`.  Checkpoints land at
+        chunk boundaries and also carry the executed-work counters
+        (``steps_done``, ``lups_done``, ``jobs_done``), so a resumed run
+        reports the same traffic statistics as an uninterrupted one.
+        """
         if tol <= 0:
             raise ValueError("tol must be positive")
+        if on_divergence not in ("return", "raise"):
+            raise ValueError("on_divergence must be 'return' or 'raise'")
         history: list[float] = []
-        previous = self.solver.fields.copy()
         steps = 0
+        if checkpoint is not None:
+            restored = checkpoint.resume(self.solver.fields)
+            if restored is not None:
+                steps = restored.steps
+                history = list(restored.history)
+                extras = restored.extras
+                self.steps_done = int(extras.get("steps_done", self.steps_done))
+                self.executor.lups_done = int(
+                    extras.get("lups_done", self.executor.lups_done))
+                self.executor.jobs_done = int(
+                    extras.get("jobs_done", self.executor.jobs_done))
+        previous = self.solver.fields.copy()
         while steps < max_steps:
+            faults.hit("solver.sweep")
             self.executor.run()
             steps += self.chunk
             self.steps_done += self.chunk
             res = relative_change(self.solver.fields, previous) / self.chunk
             history.append(res)
-            if not np.isfinite(res):
+            reason = divergence_reason(res, history)
+            if reason is not None:
+                if on_divergence == "raise":
+                    raise SolverDiverged(
+                        f"tiled THIIM iteration diverged after {steps} steps: "
+                        f"{reason}",
+                        steps=steps, residual=float(res),
+                        history_tail=[float(r) for r in history[-6:]])
                 return SolveResult(self.solver.fields, steps, res, False, history)
             if res < tol:
                 return SolveResult(self.solver.fields, steps, res, True, history)
             previous = self.solver.fields.copy()
+            if checkpoint is not None and checkpoint.due(steps):
+                checkpoint.save(
+                    self.solver.fields, steps, history,
+                    extras={"steps_done": self.steps_done,
+                            "lups_done": self.executor.lups_done,
+                            "jobs_done": self.executor.jobs_done})
         return SolveResult(
             self.solver.fields, steps, history[-1] if history else np.inf, False, history
         )

@@ -22,6 +22,8 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from ..resilience import faults
+from ..resilience.errors import SolverDiverged
 from .coefficients import CoefficientSet, build_coefficients
 from .fields import FieldState
 from .geometry import Scene
@@ -31,7 +33,28 @@ from .observables import relative_change
 from .pml import PMLSpec
 from .sources import PlaneWaveSource
 
-__all__ = ["SolveResult", "THIIMSolver"]
+__all__ = ["SolveResult", "THIIMSolver", "divergence_reason"]
+
+#: Residual blow-up policy: diverged once the residual grew for this many
+#: consecutive checks AND sits this far above the best residual seen.  A
+#: healthy inverse iteration decreases (roughly) monotonically; a spectral
+#: radius above one grows geometrically and trips this within a few checks
+#: instead of burning the whole ``max_steps`` budget.
+_BLOWUP_RUN = 3
+_BLOWUP_FACTOR = 1e4
+
+
+def divergence_reason(res: float, history: list[float]) -> str | None:
+    """Why the iteration counts as diverged, or ``None`` while healthy."""
+    if not np.isfinite(res):
+        return "non-finite residual (NaN/Inf in the fields)"
+    if len(history) > _BLOWUP_RUN:
+        tail = history[-(_BLOWUP_RUN + 1):]
+        if all(b > a for a, b in zip(tail, tail[1:])) and \
+                res > _BLOWUP_FACTOR * min(history):
+            return (f"residual blow-up ({_BLOWUP_RUN} consecutive increases, "
+                    f"{res:.3e} vs best {min(history):.3e})")
+    return None
 
 
 @dataclass
@@ -148,32 +171,60 @@ class THIIMSolver:
         max_steps: int = 5000,
         check_every: int = 20,
         callback: Callable[[int, float], None] | None = None,
+        checkpoint=None,
+        on_divergence: str = "return",
     ) -> SolveResult:
         """Iterate until the fields converge to the time-harmonic solution.
 
         Convergence is measured as the relative change of the electric
         components over ``check_every`` steps, normalized per step.
+
+        ``checkpoint`` is an optional
+        :class:`~repro.resilience.checkpoint.CheckpointManager`: the loop
+        resumes from its snapshot (bit-identically -- the sweep sequence
+        is deterministic) and re-snapshots on the manager's cadence.
+        ``on_divergence`` is ``"return"`` (a non-converged
+        :class:`SolveResult`, the historical behaviour) or ``"raise"``
+        (:class:`~repro.resilience.errors.SolverDiverged` with a
+        diagnostic payload -- what the solve service uses to fail jobs
+        fast instead of iterating a blown-up state to ``max_steps``).
         """
         if tol <= 0:
             raise ValueError("tol must be positive")
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
+        if on_divergence not in ("return", "raise"):
+            raise ValueError("on_divergence must be 'return' or 'raise'")
         history: list[float] = []
-        previous = self.fields.copy()
         steps = 0
+        if checkpoint is not None:
+            restored = checkpoint.resume(self.fields)
+            if restored is not None:
+                steps = restored.steps
+                history = list(restored.history)
+        previous = self.fields.copy()
         while steps < max_steps:
             n = min(check_every, max_steps - steps)
+            faults.hit("solver.sweep")
             naive_sweep(self.fields, self.coefficients, n)
             steps += n
             res = relative_change(self.fields, previous) / n
             history.append(res)
             if callback is not None:
                 callback(steps, res)
-            if not np.isfinite(res):
+            reason = divergence_reason(res, history)
+            if reason is not None:
+                if on_divergence == "raise":
+                    raise SolverDiverged(
+                        f"THIIM iteration diverged after {steps} steps: {reason}",
+                        steps=steps, residual=float(res),
+                        history_tail=[float(r) for r in history[-6:]])
                 return SolveResult(self.fields, steps, res, False, history)
             if res < tol:
                 return SolveResult(self.fields, steps, res, True, history)
             previous = self.fields.copy()
+            if checkpoint is not None and checkpoint.due(steps):
+                checkpoint.save(self.fields, steps, history)
         return SolveResult(self.fields, steps, history[-1] if history else np.inf, False, history)
 
     # -- diagnostics ----------------------------------------------------------------

@@ -23,6 +23,8 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from .. import config
+from ..resilience import faults
+from ..resilience.errors import RESILIENCE_COUNTERS, EngineUnavailable
 from .cache import BatchLRU, CacheStats
 
 __all__ = ["NativeLRU", "make_lru", "native_available"]
@@ -100,9 +102,14 @@ def _get_library():
         _LIB_TRIED = True
         if not config.native_disabled():
             try:
+                faults.hit("native.load")
                 _LIB = _build_library()
             except Exception:  # no compiler, read-only tree, ... -> fallback
                 _LIB = None
+                # First link of the degradation chain: native -> batched
+                # pure python.  Counted (and surfaced via /metrics) so a
+                # silently slow deployment is diagnosable.
+                RESILIENCE_COUNTERS.bump("native_degraded")
     return _LIB
 
 
@@ -130,7 +137,9 @@ class NativeLRU:
             raise ValueError("key_space must be >= 1")
         lib = _get_library()
         if lib is None:
-            raise RuntimeError("native LRU kernel unavailable")
+            raise EngineUnavailable(
+                "native LRU kernel unavailable "
+                "(no compiler, build failure, or REPRO_NO_NATIVE)")
         self._lib = lib
         self.capacity_bytes = float(capacity_bytes)
         self.key_space = int(key_space)

@@ -1,0 +1,157 @@
+"""Typed failure taxonomy + resilience counters.
+
+Every recoverable failure mode of the stack gets one exception class so
+callers can branch on *what went wrong* instead of string-matching
+messages, and the HTTP layer can map failures to status codes uniformly
+(:attr:`ReproError.http_status`).  The taxonomy also records whether a
+failure is worth retrying: a worker crash is transient, a diverged solve
+is deterministic -- retrying it burns the budget reproducing the same
+blow-up, so :attr:`ReproError.retryable` lets the scheduler fail fast.
+
+The module-global :data:`RESILIENCE_COUNTERS` aggregates every
+degradation event in the process (quarantined artifacts, checkpoint
+saves/resumes, native-engine fallbacks, fired faults).  Counters are
+deliberately schema-free (a name -> int dict) so new sites never need a
+dataclass change; the serving layer exposes a snapshot under
+``GET /metrics`` and child workers ship theirs back through the spool
+file, mirroring how substrate counters travel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = [
+    "ReproError",
+    "SolverDiverged",
+    "CorruptArtifact",
+    "EngineUnavailable",
+    "CheckpointMismatch",
+    "InjectedFault",
+    "ResilienceCounters",
+    "RESILIENCE_COUNTERS",
+    "error_from_kind",
+]
+
+
+class ReproError(RuntimeError):
+    """Base of the typed failure taxonomy.
+
+    ``details`` is the machine-readable diagnostic payload (residual
+    history tails, quarantined paths, ...) serialized verbatim into HTTP
+    error bodies and job records.
+    """
+
+    #: Status the serving layer answers with when this escapes a handler.
+    http_status = 500
+    #: Whether the scheduler should spend retry budget on this failure.
+    retryable = True
+
+    def __init__(self, message: str, **details):
+        super().__init__(message)
+        self.details = details
+
+    def payload(self) -> dict:
+        """JSON body for HTTP error responses / job diagnostics."""
+        d = {"error": str(self), "kind": type(self).__name__}
+        if self.details:
+            d["details"] = self.details
+        return d
+
+
+class SolverDiverged(ReproError):
+    """The THIIM fixed-point iteration blew up (NaN/Inf or runaway
+    residual growth).  Deterministic in the spec: never retried."""
+
+    http_status = 422
+    retryable = False
+
+
+class CorruptArtifact(ReproError):
+    """A persisted JSON/npz artifact failed its integrity check
+    (malformed, truncated, or checksum mismatch).  The file is
+    quarantined to ``*.corrupt`` and the artifact recomputed."""
+
+    http_status = 500
+
+
+class EngineUnavailable(ReproError):
+    """A replay/compute engine could not be loaded.  The degradation
+    chain (native -> batched -> pure python) normally absorbs this."""
+
+    http_status = 503
+
+
+class CheckpointMismatch(ReproError):
+    """A checkpoint's scene/plan token does not match the running solve
+    -- resuming would silently compute the wrong answer."""
+
+    http_status = 409
+    retryable = False
+
+
+class InjectedFault(ReproError):
+    """A fault fired by the deterministic chaos harness
+    (:mod:`repro.resilience.faults`)."""
+
+    http_status = 500
+
+
+#: Name -> class map used to rehydrate typed errors that crossed a
+#: process boundary as strings (forked-worker spool files).
+_TAXONOMY = {
+    cls.__name__: cls
+    for cls in (ReproError, SolverDiverged, CorruptArtifact,
+                EngineUnavailable, CheckpointMismatch, InjectedFault)
+}
+
+
+def error_from_kind(kind: Optional[str], message: str) -> Exception:
+    """Rebuild a typed error from its class name (spool round trip).
+
+    Unknown/absent kinds come back as plain ``RuntimeError`` so foreign
+    error strings never gain retry semantics they did not have.
+    """
+    cls = _TAXONOMY.get(kind or "")
+    return cls(message) if cls is not None else RuntimeError(message)
+
+
+class ResilienceCounters:
+    """Thread-safe name -> count map of degradation events."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Count an event; emits a tracing instant when a trace is live."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + n
+        from ..core import tracing
+
+        rec = tracing.active()
+        if rec is not None:
+            rec.instant(f"resilience.{name}", "resilience")
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold a child worker's counter deltas into this process."""
+        with self._lock:
+            for name, n in (other or {}).items():
+                self._counts[name] = self._counts.get(name, 0) + int(n)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+#: Process-global degradation telemetry (children merge back via spool).
+RESILIENCE_COUNTERS = ResilienceCounters()

@@ -16,10 +16,14 @@ but cheap to reuse.  This subsystem gives that shape a serving layer:
     execution and serve cached results bit-identically.
 ``scheduler``
     Priority-FIFO scheduler over thread or process workers with a
-    bounded queue (backpressure), crash recovery and retry backoff.
+    bounded queue (backpressure), crash recovery (crashed solves resume
+    from their latest checkpoint), retry backoff that fails fast on
+    non-retryable :class:`~repro.resilience.errors.ReproError` kinds,
+    and graceful drain + queue spooling for zero-loss restarts.
 ``server``
     Stdlib ``ThreadingHTTPServer`` JSON API: ``POST /jobs``,
-    ``GET /jobs/<id>``, ``GET /metrics``, ``GET /registry``.
+    ``GET /jobs/<id>``, ``GET /metrics``, ``GET /registry``,
+    ``GET /healthz`` -- typed failures map to their HTTP status.
 
 Everything is stdlib + the existing repro stack; no new dependencies.
 """

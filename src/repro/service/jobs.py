@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..core import tracing
+from ..resilience import faults
 
 __all__ = ["JobSpec", "Job", "JobState", "run_job", "FAULTS"]
 
@@ -164,6 +165,13 @@ class Job:
     from_store: bool = False
     #: Extra submissions that coalesced onto this job.
     dedup_count: int = 0
+    #: Typed taxonomy name of the failure (``SolverDiverged``, ...).
+    error_kind: Optional[str] = None
+    #: Sweep count the last attempt resumed from (checkpoint provenance;
+    #: kept off the result dict to preserve bit-identical serving).
+    resumed_from: Optional[int] = None
+    #: Last checkpoint report: ``{"path", "saves", "resumed_from"}``.
+    checkpoint: Optional[Dict[str, Any]] = None
 
     #: Legal lifecycle transitions (RUNNING -> QUEUED is the crash requeue).
     _TRANSITIONS = {
@@ -202,6 +210,9 @@ class Job:
             "finished_at": self.finished_at,
             "from_store": self.from_store,
             "dedup_count": self.dedup_count,
+            "error_kind": self.error_kind,
+            "resumed_from": self.resumed_from,
+            "checkpoint": self.checkpoint,
             "spec": self.spec.to_dict(),
         }
         if include_result:
@@ -223,18 +234,22 @@ def machine_spec_for(spec: JobSpec):
 
 
 def _inject_fault(spec: JobSpec, attempt: int, in_child: bool) -> None:
+    """Apply a spec-level legacy fault flag through the one shared
+    mechanism (:func:`repro.resilience.faults.trigger`); the reason keeps
+    the legacy flag name in the message for backward compatibility."""
     if spec.fault is None:
         return
     if spec.fault == "always_fail":
-        raise RuntimeError("injected failure (always_fail)")
+        faults.trigger("job.fault", "raise", reason="always_fail",
+                       in_child=in_child)
     if attempt == 1 and spec.fault == "fail_once":
-        raise RuntimeError("injected failure (fail_once)")
+        faults.trigger("job.fault", "raise", reason="fail_once",
+                       in_child=in_child)
     if attempt == 1 and spec.fault == "crash_once":
-        if in_child:
-            import os
-
-            os._exit(42)  # die like a SIGKILLed worker: no cleanup, no result
-        raise RuntimeError("injected crash (crash_once, inline worker)")
+        # In a forked worker this dies like a SIGKILLed process: no
+        # cleanup, no spool file.  Inline it degrades to an exception.
+        faults.trigger("job.fault", "crash", reason="crash_once",
+                       in_child=in_child)
 
 
 def _field_checksum(fields) -> str:
@@ -289,7 +304,26 @@ def _resolve_plan(spec: JobSpec, registry) -> Dict[str, Any]:
             "source": "registry", "registry_hit": hit}
 
 
-def _run_solve(spec: JobSpec, registry) -> Dict[str, Any]:
+def _checkpoint_for(spec: JobSpec, solver, checkpoint_dir, **cadence):
+    """A :class:`CheckpointManager` for this solve, or ``None`` when
+    checkpointing is off (no directory, or ``REPRO_CHECKPOINT_EVERY=0``)."""
+    from .. import config
+    from ..resilience.checkpoint import CheckpointManager, solver_token
+
+    directory = checkpoint_dir or config.checkpoint_dir()
+    every = config.checkpoint_every()
+    if not directory or every < 1:
+        return None
+    return CheckpointManager(
+        directory, name=spec.job_id,
+        token=solver_token(solver, tol=spec.tol, max_steps=spec.max_steps,
+                           **cadence),
+        every=every,
+    )
+
+
+def _run_solve(spec: JobSpec, registry,
+               checkpoint_dir: Optional[str] = None) -> Dict[str, Any]:
     import numpy as np
 
     from ..core.tiled_solver import TiledTHIIM
@@ -316,9 +350,18 @@ def _run_solve(spec: JobSpec, registry) -> Dict[str, Any]:
     plan = _resolve_plan(spec, registry)
     if plan["tiled"]:
         driver = TiledTHIIM(solver, dw=plan["dw"], bz=plan["bz"])
-        result = driver.solve(tol=spec.tol, max_steps=spec.max_steps)
+        ckpt = _checkpoint_for(spec, solver, checkpoint_dir, chunk=driver.chunk)
+        result = driver.solve(tol=spec.tol, max_steps=spec.max_steps,
+                              checkpoint=ckpt, on_divergence="raise")
     else:
-        result = solver.solve(tol=spec.tol, max_steps=spec.max_steps)
+        ckpt = _checkpoint_for(spec, solver, checkpoint_dir, check_every=20)
+        result = solver.solve(tol=spec.tol, max_steps=spec.max_steps,
+                              checkpoint=ckpt, on_divergence="raise")
+    if ckpt is not None:
+        # The solve is complete; its result is about to be stored.  The
+        # snapshot has served its purpose (a crash after this point
+        # requeues the job, which the result store then serves).
+        ckpt.clear()
 
     out: Dict[str, Any] = {
         "kind": "solve",
@@ -341,18 +384,24 @@ def run_job(
     registry=None,
     attempt: int = 1,
     in_child: bool = False,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute a spec and return its JSON-serializable result.
 
     Deterministic in ``spec`` (and ``registry`` contents for tuned
     plans): repeat runs return equal dicts bit for bit, which is the
-    contract the result store's dedup relies on.
+    contract the result store's dedup relies on.  Checkpoint/resume
+    preserves this: a run resumed from a snapshot replays the identical
+    sweep sequence, and resume provenance travels on the Job record
+    (never in this result dict).
     """
+    faults.set_attempt(attempt)
     with tracing.span(
         f"job {spec.job_id[:12]}", "service",
         args={"kind": spec.kind, "attempt": attempt, "grid": spec.grid},
     ):
+        faults.hit("job.run")
         _inject_fault(spec, attempt, in_child)
         if spec.kind == "tune":
             return _run_tune(spec, registry)
-        return _run_solve(spec, registry)
+        return _run_solve(spec, registry, checkpoint_dir=checkpoint_dir)

@@ -29,9 +29,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import tracing
 from ..core.autotuner import point_from_json, point_to_json
-from ..ioutil import atomic_write_json, read_json
+from ..ioutil import atomic_write_json, corrupt_file, read_json, read_json_checked
 from ..machine.counters import timed_section
 from ..machine.spec import MachineSpec
+from ..resilience import faults
 
 __all__ = ["PlanRegistry", "REGISTRY_VERSION"]
 
@@ -92,7 +93,12 @@ class PlanRegistry:
             path = self._path(key)
             if path is None:
                 return None
-            doc = read_json(path)
+            if faults.hit("registry.read") == "corrupt":
+                corrupt_file(path)
+            # Malformed or checksum-mismatched entries are quarantined to
+            # ``<path>.corrupt`` and read as a miss, so the tuner simply
+            # recomputes the plan instead of the service crashing.
+            doc = read_json_checked(path)
             if not doc or doc.get("version") != REGISTRY_VERSION:
                 return None
             with self._lock:
@@ -115,7 +121,10 @@ class PlanRegistry:
         path = self._path(key)
         if path is not None:
             try:
-                atomic_write_json(path, doc)
+                kind = faults.hit("registry.write")
+                atomic_write_json(path, doc, checksum=True)
+                if kind == "corrupt":
+                    corrupt_file(path)
             except OSError:
                 pass  # read-only/full disk: persistence is best-effort
 

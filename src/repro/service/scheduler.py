@@ -41,12 +41,18 @@ import time
 from typing import Dict, List, Optional
 
 from ..core import tracing
-from ..ioutil import read_json
+from ..ioutil import atomic_write_json, read_json, read_json_checked
+from ..resilience import faults
+from ..resilience.checkpoint import take_report
+from ..resilience.errors import RESILIENCE_COUNTERS, ReproError, error_from_kind
 from .jobs import Job, JobSpec, JobState, run_job
 from .registry import PlanRegistry
 from .store import ResultStore
 
 __all__ = ["Scheduler", "QueueFullError", "WorkerCrash"]
+
+#: Queue-spool payload format (graceful-restart persistence).
+QUEUE_SPOOL_VERSION = 1
 
 
 class QueueFullError(RuntimeError):
@@ -62,24 +68,33 @@ class WorkerCrash(RuntimeError):
 
 
 def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
-                 out_path: str) -> None:
+                 out_path: str, checkpoint_dir: Optional[str] = None) -> None:
     """Forked worker body: run the job, spool the outcome atomically.
 
     Exits 0 with an ``{"ok": ...}`` envelope for both success and
-    deterministic failure; only a genuine crash (or injected
-    ``crash_once``) leaves no file behind.
+    deterministic failure; only a genuine crash (or an injected ``crash``
+    fault) leaves no file behind.  The envelope carries everything the
+    parent needs to reconstruct what happened: the typed error kind
+    (rehydrated via :func:`~repro.resilience.errors.error_from_kind`),
+    the checkpoint report (path / saves / resume point -- how crashed
+    jobs get resumed), and the child's resilience-counter deltas.
     """
-    from ..ioutil import atomic_write_json
-
+    faults.set_in_child(True)
+    # The fork inherited the parent's counters; reset so the spooled
+    # snapshot is this child's delta, merged back additively.
+    RESILIENCE_COUNTERS.reset()
     spec = JobSpec.from_dict(spec_dict)
     registry = PlanRegistry(registry_root)
     try:
-        result = run_job(spec, registry=registry, attempt=attempt, in_child=True)
-        payload = {"ok": True, "result": result,
-                   "registry_counters": registry.counters()}
+        result = run_job(spec, registry=registry, attempt=attempt,
+                         in_child=True, checkpoint_dir=checkpoint_dir)
+        payload = {"ok": True, "result": result}
     except BaseException as exc:  # noqa: BLE001 - the envelope is the report
         payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}",
-                   "registry_counters": registry.counters()}
+                   "error_kind": type(exc).__name__}
+    payload["registry_counters"] = registry.counters()
+    payload["checkpoint"] = take_report()
+    payload["resilience_counters"] = RESILIENCE_COUNTERS.snapshot()
     atomic_write_json(out_path, payload)
     os._exit(0)
 
@@ -96,6 +111,7 @@ class Scheduler:
         mode: str = "thread",
         retry_base_s: float = 0.05,
         spool_dir: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -110,12 +126,14 @@ class Scheduler:
         self.mode = mode
         self.retry_base_s = retry_base_s
         self._spool_dir = spool_dir
+        self.checkpoint_dir = checkpoint_dir
         self._heap: List[tuple] = []  # (-priority, seq, job_id)
         self._jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # submission order (listing)
         self._cv = threading.Condition()
         self._seq = 0
         self._stopping = False
+        self._draining = False
         self._threads: List[threading.Thread] = []
         # -- counters (all guarded by _cv) --
         self.n_submitted = 0
@@ -128,14 +146,22 @@ class Scheduler:
         self.n_completed = 0
         self.n_failed = 0
         self.n_cancelled = 0
+        self.n_resumed = 0
 
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "Scheduler":
+        from .. import config
+
         if self._threads:
             return self
         if self.mode == "process" and self._spool_dir is None:
             self._spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        if self.checkpoint_dir is None and config.checkpoint_every() > 0:
+            self.checkpoint_dir = (
+                config.checkpoint_dir()
+                or tempfile.mkdtemp(prefix="repro-ckpt-")
+            )
         for i in range(self.workers):
             t = threading.Thread(
                 target=self._worker_loop, name=f"repro-worker-{i}", daemon=True
@@ -151,6 +177,80 @@ class Scheduler:
         for t in self._threads:
             t.join(timeout=timeout)
         self._threads = []
+
+    # -- graceful shutdown -------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def queue_depth(self) -> int:
+        with self._cv:
+            return sum(1 for j in self._jobs.values()
+                       if j.state == JobState.QUEUED)
+
+    def running_count(self) -> int:
+        with self._cv:
+            return sum(1 for j in self._jobs.values()
+                       if j.state == JobState.RUNNING)
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Stop dispatching queued jobs, wait for the running ones.
+
+        Returns True when every in-flight job reached a terminal or
+        queued (requeued-on-failure) state within ``timeout``; queued
+        jobs are left queued, for :meth:`persist_queue`.
+        """
+        with self._cv:
+            self._draining = True
+            self._cv.notify_all()
+        rec = tracing.active()
+        if rec is not None:
+            rec.instant("scheduler.drain", "service",
+                        args={"queued": self.queue_depth()})
+        deadline = time.monotonic() + timeout
+        with self._cv:
+            while any(j.state == JobState.RUNNING
+                      for j in self._jobs.values()):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cv.wait(timeout=min(remaining, 0.2))
+        return True
+
+    def persist_queue(self, path: str) -> int:
+        """Spool the still-queued specs to ``path`` (atomic, checksummed)
+        so a graceful restart can resubmit them; returns how many."""
+        with self._cv:
+            queued = [self._jobs[job_id]
+                      for _, _, job_id in sorted(self._heap)
+                      if self._jobs[job_id].state == JobState.QUEUED]
+        docs = [{"spec": j.spec.to_dict(), "attempts": j.attempts}
+                for j in queued]
+        atomic_write_json(
+            path, {"version": QUEUE_SPOOL_VERSION, "jobs": docs},
+            checksum=True)
+        return len(docs)
+
+    def restore_queue(self, path: str) -> int:
+        """Resubmit the specs a previous process spooled at ``path``
+        (corrupt spools quarantine and restore nothing); returns how
+        many were accepted."""
+        doc = read_json_checked(path)
+        if not doc or doc.get("version") != QUEUE_SPOOL_VERSION:
+            return 0
+        restored = 0
+        for entry in doc.get("jobs") or []:
+            try:
+                self.submit(JobSpec.from_dict(entry["spec"]))
+                restored += 1
+            except (QueueFullError, ValueError, KeyError, TypeError):
+                continue  # a full queue or foreign entry drops the job
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return restored
 
     # -- submission ------------------------------------------------------------
 
@@ -264,6 +364,8 @@ class Scheduler:
                 "completed": self.n_completed,
                 "failed": self.n_failed,
                 "cancelled": self.n_cancelled,
+                "resumed": self.n_resumed,
+                "draining": self._draining,
                 "states": states,
             }
 
@@ -281,11 +383,13 @@ class Scheduler:
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
-                job = self._next_job()
-                while job is None and not self._stopping:
+                # While draining, queued jobs stay queued (they get
+                # spooled for the next process) and workers retire.
+                job = None if self._draining else self._next_job()
+                while job is None and not (self._stopping or self._draining):
                     self._cv.wait(timeout=0.2)
                     job = self._next_job()
-                if job is None:  # stopping and drained
+                if job is None:  # stopping/draining and nothing popped
                     return
                 job.transition(JobState.RUNNING)
                 job.attempts += 1
@@ -294,17 +398,24 @@ class Scheduler:
             self._run_attempt(job, attempt)
 
     def _run_attempt(self, job: Job, attempt: int) -> None:
+        report: Optional[dict] = None
         try:
             with tracing.span(
                 f"attempt {job.id[:12]}#{attempt}", "service",
                 args={"kind": job.spec.kind, "mode": self.mode},
             ):
                 if self.mode == "process":
-                    result = self._execute_in_child(job.spec, attempt)
+                    result, report = self._execute_in_child(job.spec, attempt)
                 else:
-                    result = run_job(job.spec, registry=self.registry,
-                                     attempt=attempt)
+                    try:
+                        result = run_job(job.spec, registry=self.registry,
+                                         attempt=attempt,
+                                         checkpoint_dir=self.checkpoint_dir)
+                    finally:
+                        report = take_report()
         except Exception as exc:  # noqa: BLE001 - converted to job outcome
+            self._note_checkpoint(
+                job, report or getattr(exc, "checkpoint_report", None))
             self._on_failure(job, attempt, exc)
             return
         self.store.put(job.id, result)
@@ -312,9 +423,24 @@ class Scheduler:
             job.result = result
             job.transition(JobState.DONE)
             self.n_completed += 1
+            self._note_checkpoint_locked(job, report)
             self._cv.notify_all()
 
-    def _execute_in_child(self, spec: JobSpec, attempt: int) -> dict:
+    def _note_checkpoint(self, job: Job, report: Optional[dict]) -> None:
+        with self._cv:
+            self._note_checkpoint_locked(job, report)
+
+    def _note_checkpoint_locked(self, job: Job, report: Optional[dict]) -> None:
+        """Record an attempt's checkpoint provenance on the Job (caller
+        holds the lock)."""
+        if not report:
+            return
+        job.checkpoint = report
+        if report.get("resumed_from") is not None:
+            job.resumed_from = report["resumed_from"]
+            self.n_resumed += 1
+
+    def _execute_in_child(self, spec: JobSpec, attempt: int):
         import multiprocessing as mp
 
         assert self._spool_dir is not None
@@ -324,7 +450,8 @@ class Scheduler:
         ctx = mp.get_context("fork")
         proc = ctx.Process(
             target=_child_entry,
-            args=(spec.to_dict(), attempt, self.registry.root, out_path),
+            args=(spec.to_dict(), attempt, self.registry.root, out_path,
+                  self.checkpoint_dir),
         )
         proc.start()
         proc.join(timeout=spec.timeout_s)
@@ -342,18 +469,32 @@ class Scheduler:
                 f"worker died mid-job (exit code {proc.exitcode}, no result)"
             )
         self.registry.merge_counters(payload.get("registry_counters") or {})
+        RESILIENCE_COUNTERS.merge(payload.get("resilience_counters") or {})
+        report = payload.get("checkpoint")
         if not payload.get("ok"):
-            raise RuntimeError(payload.get("error") or "job failed in worker")
-        return payload["result"]
+            # Rehydrate the typed error so retryability survives the
+            # process boundary (a diverged solve must not burn retries).
+            exc = error_from_kind(payload.get("error_kind"),
+                                  payload.get("error") or "job failed in worker")
+            exc.checkpoint_report = report
+            raise exc
+        return payload["result"], report
 
     def _on_failure(self, job: Job, attempt: int, exc: Exception) -> None:
         crashed = isinstance(exc, WorkerCrash)
         retryable = attempt <= job.spec.max_retries
+        if isinstance(exc, ReproError) and not exc.retryable:
+            # Deterministic failures (diverged solve, checkpoint token
+            # mismatch) reproduce on every attempt -- fail fast instead
+            # of burning the retry budget.
+            retryable = False
         rec = tracing.active()
         if rec is not None:
             rec.instant("job.crash" if crashed else "job.error", "service",
                         args={"id": job.id[:12], "attempt": attempt,
                               "retry": retryable})
+        with self._cv:
+            job.error_kind = type(exc).__name__
         if retryable:
             # Exponential backoff before the requeue; sleeping outside the
             # lock keeps the other workers dispatching.
@@ -368,10 +509,11 @@ class Scheduler:
                 self._push(job)
                 self._cv.notify()
             else:
-                job.error = (
-                    f"attempt {attempt}: {exc} (retry budget "
-                    f"{job.spec.max_retries} exhausted)"
-                )
+                if isinstance(exc, ReproError) and not exc.retryable:
+                    why = "not retryable"
+                else:
+                    why = f"retry budget {job.spec.max_retries} exhausted"
+                job.error = f"attempt {attempt}: {exc} ({why})"
                 job.transition(JobState.FAILED)
                 self.n_failed += 1
                 self._cv.notify_all()

@@ -13,10 +13,19 @@ GET       ``/jobs``             list submitted jobs (summaries)
 GET       ``/jobs/<id>``        one job, including its result when done
 DELETE    ``/jobs/<id>``        cancel a queued job (409 if not queued)
 GET       ``/metrics``          scheduler + registry + store + substrate
-                                counters (the observability rollup)
+                                + resilience counters (the observability
+                                rollup)
 GET       ``/registry``         persistent plan-registry listing
-GET       ``/healthz``          liveness probe
+GET       ``/healthz``          liveness probe: ``ok``, ``draining``,
+                                ``queue_depth``, ``running``,
+                                ``checkpoint_lag_s``
 ========  ====================  =========================================
+
+Typed failures (:class:`~repro.resilience.errors.ReproError`) escaping a
+handler map to their ``http_status`` with the error's JSON ``payload()``
+as the body, so a diverged solve reads as 422, an unavailable engine as
+503, a checkpoint token mismatch as 409 -- uniformly, without each
+route hand-rolling status codes.
 
 ``make_server(scheduler, host, port)`` binds (port 0 picks an ephemeral
 port -- used by tests and the CI smoke job) and returns the server; the
@@ -29,6 +38,9 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from ..resilience import faults
+from ..resilience.checkpoint import latest_lag_s
+from ..resilience.errors import RESILIENCE_COUNTERS, ReproError
 from .jobs import JobSpec
 from .scheduler import QueueFullError, Scheduler
 
@@ -45,6 +57,9 @@ class ServiceServer(ThreadingHTTPServer):
     def __init__(self, addr: Tuple[str, int], scheduler: Scheduler):
         super().__init__(addr, _Handler)
         self.scheduler = scheduler
+        #: Flipped by the graceful-shutdown path (``repro serve`` on
+        #: SIGTERM/SIGINT) so ``/healthz`` reports the drain.
+        self.draining = False
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -81,9 +96,28 @@ class _Handler(BaseHTTPRequestHandler):
             return parts[1]
         return None
 
+    def _guard(self, handler) -> None:
+        """Run a route with the uniform failure mapping: any
+        :class:`ReproError` becomes its ``http_status`` + ``payload()``
+        (the graceful-degradation chain's HTTP face)."""
+        try:
+            faults.hit("http.request")
+            handler()
+        except ReproError as exc:
+            self._send(exc.http_status, exc.payload())
+
     # -- routes ----------------------------------------------------------------
 
     def do_POST(self) -> None:
+        self._guard(self._post)
+
+    def do_GET(self) -> None:
+        self._guard(self._get)
+
+    def do_DELETE(self) -> None:
+        self._guard(self._delete)
+
+    def _post(self) -> None:
         if self.path.split("?")[0] != "/jobs":
             self._send(404, {"error": f"no such endpoint: POST {self.path}"})
             return
@@ -99,7 +133,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send(202, job.to_dict(include_result=False))
 
-    def do_GET(self) -> None:
+    def _get(self) -> None:
         path = self.path.split("?")[0]
         job_id = self._job_path_id()
         if job_id is not None:
@@ -122,15 +156,26 @@ class _Handler(BaseHTTPRequestHandler):
                 "registry": self._sched.registry.counters(),
                 "store": self._sched.store.counters(),
                 "substrate": SUBSTRATE_COUNTERS.snapshot(),
+                "resilience": {
+                    "counters": RESILIENCE_COUNTERS.snapshot(),
+                    "faults": faults.fired_summary(),
+                },
             })
         elif path == "/registry":
             self._send(200, {"plans": self._sched.registry.entries()})
         elif path == "/healthz":
-            self._send(200, {"ok": True})
+            draining = self.server.draining or self._sched.draining
+            self._send(200, {
+                "ok": True,
+                "draining": draining,
+                "queue_depth": self._sched.queue_depth(),
+                "running": self._sched.running_count(),
+                "checkpoint_lag_s": latest_lag_s(self._sched.checkpoint_dir),
+            })
         else:
             self._send(404, {"error": f"no such endpoint: GET {path}"})
 
-    def do_DELETE(self) -> None:
+    def _delete(self) -> None:
         job_id = self._job_path_id()
         if job_id is None:
             self._send(404, {"error": f"no such endpoint: DELETE {self.path}"})

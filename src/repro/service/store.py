@@ -18,7 +18,8 @@ import os
 import threading
 from typing import Any, Dict, List, Optional
 
-from ..ioutil import atomic_write_json, read_json
+from ..ioutil import atomic_write_json, corrupt_file, read_json_checked
+from ..resilience import faults
 
 __all__ = ["ResultStore", "STORE_VERSION"]
 
@@ -49,7 +50,13 @@ class ResultStore:
         if doc is None:
             path = self._path(job_id)
             if path is not None:
-                disk = read_json(path)
+                if os.path.exists(path) and \
+                        faults.hit("store.read") == "corrupt":
+                    corrupt_file(path)
+                # Corrupt entries quarantine to ``<path>.corrupt`` and
+                # read as a miss: the job simply re-executes (run_job is
+                # deterministic, so the recomputed result is identical).
+                disk = read_json_checked(path)
                 if disk and disk.get("version") == STORE_VERSION:
                     doc = disk
                     with self._lock:
@@ -69,7 +76,10 @@ class ResultStore:
         path = self._path(job_id)
         if path is not None:
             try:
-                atomic_write_json(path, doc)
+                kind = faults.hit("store.write")
+                atomic_write_json(path, doc, checksum=True)
+                if kind == "corrupt":
+                    corrupt_file(path)
             except OSError:
                 pass  # persistence is best-effort
 

@@ -1,0 +1,200 @@
+"""Checkpoint/restart: bit-identical resume, token guard, quarantine."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.tiled_solver import TiledTHIIM
+from repro.fdfd import Grid, PMLSpec, PlaneWaveSource, THIIMSolver
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    latest_lag_s,
+    solver_token,
+    take_report,
+)
+from repro.resilience.errors import CheckpointMismatch
+
+
+def make_solver(nz=24, n_xy=6, wavelength=10.0):
+    grid = Grid(nz=nz, ny=n_xy, nx=n_xy, periodic=(False, True, True))
+    return THIIMSolver(
+        grid, 2 * np.pi / wavelength,
+        source=PlaneWaveSource(z_plane=6, amplitude=1.0, z_width=2.0),
+        pml={"z": PMLSpec(thickness=6)},
+    )
+
+
+def make_tiled():
+    grid = Grid(nz=24, ny=8, nx=6)
+    solver = THIIMSolver(
+        grid, 2 * np.pi / 10.0,
+        source=PlaneWaveSource(z_plane=6, z_width=2.0),
+        pml={"z": PMLSpec(thickness=6)},
+    )
+    return TiledTHIIM(solver, dw=4, bz=2, chunk=8)
+
+
+@pytest.fixture(autouse=True)
+def _no_faults():
+    faults.uninstall()
+    take_report()
+    yield
+    faults.uninstall()
+    take_report()
+
+
+class TestToken:
+    def test_stable_for_identical_solves(self):
+        assert solver_token(make_solver(), check_every=20) == \
+            solver_token(make_solver(), check_every=20)
+
+    def test_sensitive_to_scene_and_cadence(self):
+        base = solver_token(make_solver(), check_every=20)
+        assert solver_token(make_solver(nz=32), check_every=20) != base
+        assert solver_token(make_solver(), check_every=10) != base
+
+
+class TestSaveLoad:
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        solver = make_solver()
+        solver.run(30)
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        assert mgr.save(solver.fields, 30, [0.5, 0.25]) == mgr.path
+        ckpt = mgr.load()
+        assert ckpt.steps == 30 and ckpt.history == [0.5, 0.25]
+        assert ckpt.token == "tok"
+        for name in solver.fields:
+            assert np.array_equal(ckpt.arrays[name], solver.fields[name])
+
+    def test_due_cadence(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=40)
+        assert not mgr.due(39)
+        assert mgr.due(40)
+        mgr.save(make_solver().fields, 40, [1.0])
+        assert not mgr.due(79)
+        assert mgr.due(80)
+
+    def test_cadence_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path), "t", token="tok", every=0)
+
+    def test_missing_checkpoint_is_a_miss(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        assert mgr.load() is None
+        assert mgr.resume(make_solver().fields) is None
+
+    def test_corrupt_checkpoint_quarantined(self, tmp_path):
+        solver = make_solver()
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        mgr.save(solver.fields, 10, [1.0])
+        with open(mgr.path, "wb") as f:
+            f.write(b"not an npz")
+        assert mgr.load() is None
+        assert not os.path.exists(mgr.path)
+        assert os.path.exists(mgr.path + ".corrupt")
+
+    def test_token_mismatch_lenient_quarantines(self, tmp_path):
+        solver = make_solver()
+        CheckpointManager(str(tmp_path), "t", token="theirs",
+                          every=10).save(solver.fields, 10, [1.0])
+        mine = CheckpointManager(str(tmp_path), "t", token="mine", every=10)
+        assert mine.load() is None
+        assert os.path.exists(mine.path + ".corrupt")
+
+    def test_token_mismatch_strict_raises(self, tmp_path):
+        solver = make_solver()
+        CheckpointManager(str(tmp_path), "t", token="theirs",
+                          every=10).save(solver.fields, 10, [1.0])
+        mine = CheckpointManager(str(tmp_path), "t", token="mine",
+                                 every=10, strict=True)
+        with pytest.raises(CheckpointMismatch) as exc:
+            mine.load()
+        assert exc.value.http_status == 409 and not exc.value.retryable
+
+    def test_injected_write_fault_never_breaks_the_solve(self, tmp_path):
+        faults.install(faults.FaultPlan.parse("checkpoint.write:raise"))
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        assert mgr.save(make_solver().fields, 10, [1.0]) is None
+        assert not os.path.exists(mgr.path)
+
+    def test_report_carries_resume_provenance(self, tmp_path):
+        solver = make_solver()
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        mgr.save(solver.fields, 10, [1.0])
+        take_report()
+        other = make_solver()
+        mgr2 = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        assert mgr2.resume(other.fields).steps == 10
+        report = take_report()
+        assert report == {"path": mgr.path, "saves": 0, "resumed_from": 10}
+        assert take_report() is None  # popped
+
+
+class TestBitIdenticalResume:
+    def test_naive_solver_resume_matches_uninterrupted(self, tmp_path):
+        kw = dict(tol=1e-15, check_every=10)
+        clean = make_solver().solve(max_steps=80, **kw)
+
+        interrupted = make_solver()
+        token = solver_token(interrupted, check_every=10)
+        mgr = CheckpointManager(str(tmp_path), "j", token=token, every=30)
+        interrupted.solve(max_steps=50, checkpoint=mgr, **kw)
+        assert mgr.saves >= 1 and mgr.last_saved_steps == 30
+
+        resumed = make_solver()
+        mgr2 = CheckpointManager(str(tmp_path), "j", token=token, every=30)
+        result = resumed.solve(max_steps=80, checkpoint=mgr2, **kw)
+        assert mgr2.resumed_from == 30
+
+        assert result.iterations == clean.iterations
+        assert result.residual == clean.residual
+        assert result.residual_history[1:] == clean.residual_history[
+            len(clean.residual_history) - len(result.residual_history) + 1:]
+        for name in clean.fields:
+            assert np.array_equal(result.fields[name], clean.fields[name])
+
+    def test_tiled_solver_resume_restores_work_counters(self, tmp_path):
+        kw = dict(tol=1e-15, max_steps=48)
+        clean = make_tiled()
+        clean_result = clean.solve(**kw)
+
+        partial = make_tiled()
+        token = solver_token(partial.solver, chunk=partial.chunk)
+        mgr = CheckpointManager(str(tmp_path), "j", token=token, every=16)
+        partial.solve(tol=1e-15, max_steps=24, checkpoint=mgr)
+
+        resumed = make_tiled()
+        mgr2 = CheckpointManager(str(tmp_path), "j", token=token, every=16)
+        result = resumed.solve(checkpoint=mgr2, **kw)
+        assert mgr2.resumed_from == 16
+
+        assert result.iterations == clean_result.iterations
+        for name in clean.solver.fields:
+            assert np.array_equal(result.fields[name],
+                                  clean_result.fields[name])
+        # The executed-work statistics survive the crash/restart.
+        assert resumed.steps_done == clean.steps_done
+        assert resumed.executor.lups_done == clean.executor.lups_done
+        assert resumed.executor.jobs_done == clean.executor.jobs_done
+
+
+class TestLag:
+    def test_no_directory_or_checkpoint_is_none(self, tmp_path):
+        assert latest_lag_s(None) is None
+        assert latest_lag_s(str(tmp_path / "missing")) is None
+        assert latest_lag_s(str(tmp_path)) is None
+
+    def test_fresh_checkpoint_has_small_lag(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        mgr.save(make_solver().fields, 10, [1.0])
+        lag = latest_lag_s(str(tmp_path))
+        assert 0.0 <= lag < 60.0
+
+    def test_clear_removes_snapshot(self, tmp_path):
+        mgr = CheckpointManager(str(tmp_path), "t", token="tok", every=10)
+        mgr.save(make_solver().fields, 10, [1.0])
+        mgr.clear()
+        assert not os.path.exists(mgr.path)
+        mgr.clear()  # idempotent

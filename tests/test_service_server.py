@@ -138,7 +138,13 @@ class TestQueries:
 
     def test_healthz(self, service):
         base, _ = service
-        assert _request("GET", f"{base}/healthz") == (200, {"ok": True})
+        status, doc = _request("GET", f"{base}/healthz")
+        assert status == 200
+        assert doc["ok"] is True
+        assert doc["draining"] is False
+        assert doc["queue_depth"] >= 0
+        assert doc["running"] >= 0
+        assert "checkpoint_lag_s" in doc
 
     def test_metrics_rollup(self, service):
         base, _ = service
@@ -147,7 +153,8 @@ class TestQueries:
         status, m = _request("GET", f"{base}/metrics")
         assert status == 200
         assert m["scheduler"]["completed"] >= 1
-        assert set(m) == {"scheduler", "registry", "store", "substrate"}
+        assert set(m) == {"scheduler", "registry", "store", "substrate",
+                          "resilience"}
         assert m["store"]["puts"] >= 1
         assert "states" in m["scheduler"]
 
