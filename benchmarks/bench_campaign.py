@@ -1,0 +1,162 @@
+"""Campaign throughput: batched k-wavelength solves vs the per-point path.
+
+The batched campaign engine stacks the twelve THIIM component arrays of
+``k`` wavelengths into ``12 x k`` arrays and updates every wavelength on
+each tile touch, so the wavefront-diamond traversal's per-tile work is
+amortized over the whole batch while the tile working set is hot -- the
+multi-dimensional intra-tile parallelization idea applied along a
+scenario axis.  This benchmark measures it on the default campaign
+configuration (tandem preset, tiled MWD traversal):
+
+* per-point path: k independent ``TiledTHIIM`` solves (the pre-batch
+  campaign behaviour);
+* batched path: one ``BatchedTiledTHIIM`` solve per k in ``K_SERIES``,
+  giving the points/sec-vs-k curve for EXPERIMENTS.md;
+* **bit-identity**: every lane of the k=8 batch must equal its
+  per-point solve's fields bit for bit (and match iterations/residual
+  history) -- the batched engine's absolute contract;
+* **acceptance**: batched points/sec at k = ``K_TARGET`` must be at
+  least ``MIN_SPEEDUP`` x the per-point path.
+
+Both paths run a fixed number of sweeps (unreachable tolerance), so the
+comparison is work-for-work.  Results land in
+``benchmarks/output/BENCH_campaign.json``.
+
+Runs standalone (``PYTHONPATH=src python benchmarks/bench_campaign.py``)
+or as a pytest test; CI runs the pytest form as the campaign smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+PRESET = "tandem"
+GRID = 16
+DW, BZ = 4, 2
+MAX_STEPS = 80
+TOL = 1e-12  # unreachable: both paths deterministically run all sweeps
+K_SERIES = (1, 2, 4, 8)
+K_TARGET = 8
+#: Acceptance floor at k=8 (observed ~4-5x; 3x leaves room for noise).
+MIN_SPEEDUP = 3.0
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "output",
+                        "BENCH_campaign.json")
+
+
+def _setup(k: int):
+    import numpy as np
+
+    from repro.fdfd import Grid, PMLSpec, PlaneWaveSource, preset_scene
+
+    nz = 2 * GRID
+    grid = Grid(nz=nz, ny=GRID, nx=GRID, periodic=(False, False, False))
+    scene = preset_scene(PRESET, nz)
+    source = PlaneWaveSource(z_plane=max(nz // 8, 12), z_width=2.0)
+    pml = {"z": PMLSpec(thickness=max(nz // 10, 6))}
+    wavelengths = [10.0 + 0.5 * i for i in range(k)]
+    omegas = [2 * np.pi / w for w in wavelengths]
+    return grid, scene, source, pml, omegas
+
+
+def run_per_point(k: int):
+    """k independent tiled solves; returns (seconds, results)."""
+    from repro.core.tiled_solver import TiledTHIIM
+    from repro.fdfd import THIIMSolver
+
+    grid, scene, source, pml, omegas = _setup(k)
+    t0 = time.perf_counter()
+    results = []
+    for omega in omegas:
+        solver = THIIMSolver(grid, omega, scene=scene, source=source, pml=pml)
+        driver = TiledTHIIM(solver, dw=DW, bz=BZ)
+        results.append(driver.solve(tol=TOL, max_steps=MAX_STEPS))
+    return time.perf_counter() - t0, results
+
+
+def run_batched(k: int):
+    """One batched tiled solve over k wavelengths; (seconds, results)."""
+    from repro.core.tiled_solver import BatchedTiledTHIIM
+    from repro.fdfd import BatchedTHIIMSolver
+
+    grid, scene, source, pml, omegas = _setup(k)
+    t0 = time.perf_counter()
+    batched = BatchedTHIIMSolver(grid, omegas, scene=scene, source=source,
+                                 pml=pml)
+    driver = BatchedTiledTHIIM(batched, dw=DW, bz=BZ)
+    batch = driver.solve(tol=TOL, max_steps=MAX_STEPS)
+    return time.perf_counter() - t0, batch.results
+
+
+def assert_bit_identical(per_point, batched) -> None:
+    import numpy as np
+
+    for lane, (a, b) in enumerate(zip(per_point, batched)):
+        assert a.iterations == b.iterations, f"lane {lane}: iteration count"
+        assert a.residual_history == b.residual_history, \
+            f"lane {lane}: residual history"
+        for name in a.fields:
+            assert np.array_equal(a.fields[name], b.fields[name]), \
+                f"lane {lane}: component {name} differs bit-wise"
+
+
+def main() -> int:
+    t_pp, pp_results = run_per_point(K_TARGET)
+    pp_rate = K_TARGET / t_pp
+    print(f"per-point  k={K_TARGET}: {t_pp:6.2f} s  {pp_rate:6.3f} points/s")
+
+    series = []
+    batched_target = None
+    for k in K_SERIES:
+        t_b, b_results = run_batched(k)
+        rate = k / t_b
+        series.append({"k": k, "seconds": round(t_b, 3),
+                       "points_per_sec": round(rate, 4)})
+        print(f"batched    k={k}: {t_b:6.2f} s  {rate:6.3f} points/s")
+        if k == K_TARGET:
+            batched_target = (t_b, b_results, rate)
+
+    assert batched_target is not None
+    t_b, b_results, b_rate = batched_target
+    assert_bit_identical(pp_results, b_results)
+    print(f"bit-identity: all {K_TARGET} lanes equal the per-point solves")
+
+    speedup = b_rate / pp_rate
+    print(f"speedup at k={K_TARGET}: {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+
+    doc = {
+        "preset": PRESET,
+        "grid": GRID,
+        "dw": DW,
+        "bz": BZ,
+        "max_steps": MAX_STEPS,
+        "k_target": K_TARGET,
+        "per_point": {"k": K_TARGET, "seconds": round(t_pp, 3),
+                      "points_per_sec": round(pp_rate, 4)},
+        "batched": series,
+        "speedup": round(speedup, 3),
+        "min_speedup": MIN_SPEEDUP,
+        "bit_identical": True,
+    }
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    print(f"saved -> {OUT_PATH}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched campaign only {speedup:.2f}x the per-point path "
+        f"(floor {MIN_SPEEDUP}x)"
+    )
+    return 0
+
+
+def test_campaign_throughput():
+    """Pytest entry point: the batched campaign engine meets its
+    throughput floor with bit-identical per-point results."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""CI smoke test for the batched campaign engine, end to end.
+
+Pre-stores one wavelength by running its per-point job, then submits a
+batch JobSpec covering that point plus two new wavelengths through a
+real :class:`~repro.service.Scheduler`, and asserts the campaign
+contract:
+
+* **dedup**: the already-stored point is served from the store
+  (``dedup_hits == 1``), only the two missing wavelengths are solved;
+* **bit-identity**: every fanned-out per-point document equals a direct
+  per-point ``run_job`` of the same spec, field for field (including
+  the SHA-256 field checksum);
+* **store fan-out**: after the batch, each wavelength's per-point job id
+  resolves in the result store, so later per-point submissions never
+  re-execute.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/smoke_campaign.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASE = {"preset": "absorber", "grid": 10, "tol": 1e-4, "max_steps": 60,
+        "threads": 2}
+WAVELENGTHS = (10.0, 11.0, 12.0)
+PRESTORED = WAVELENGTHS[0]
+
+
+def main() -> int:
+    from repro.service import JobSpec, ResultStore, Scheduler, run_job
+
+    batch_spec = JobSpec.from_dict(
+        dict(BASE, kind="batch", wavelengths=list(WAVELENGTHS)))
+    point_specs = {w: batch_spec.point_spec(w) for w in WAVELENGTHS}
+
+    # Direct per-point runs: the bit-identity reference for every point,
+    # and the pre-stored document for the duplicate one.
+    direct = {w: run_job(point_specs[w]) for w in WAVELENGTHS}
+
+    store = ResultStore()
+    store.put(point_specs[PRESTORED].job_id, direct[PRESTORED])
+
+    sched = Scheduler(workers=2, store=store, mode="thread").start()
+    try:
+        job = sched.wait(sched.submit(batch_spec).id, timeout=120.0)
+    finally:
+        sched.stop()
+    assert job.state == "done", f"batch job failed: {job.error}"
+
+    result = job.result
+    assert result["kind"] == "batch" and result["batch_width"] == 3, result
+    assert result["dedup_hits"] == 1, (
+        f"expected the pre-stored point to dedup: {result['dedup_hits']}")
+    assert result["solved"] == 2 and result["failed"] == 0, result
+
+    for point in result["points"]:
+        w = point["wavelength"]
+        assert point["from_store"] == (w == PRESTORED), point
+        assert point["result"] == direct[w], (
+            f"fanned-out result for wavelength {w} is not bit-identical")
+        stored = store.get(point["id"])
+        assert stored == direct[w], (
+            f"store fan-out for wavelength {w} is not bit-identical")
+
+    checksums = {p["wavelength"]: p["result"]["checksum"]
+                 for p in result["points"]}
+    print("campaign smoke: batch of 3 wavelengths, 1 deduplicated from the "
+          "store, 2 solved; all points bit-identical to direct per-point "
+          f"runs (checksums {sorted(checksums.values())[0][:12]}..., ...)")
+    return 0
+
+
+def test_campaign_smoke():
+    """Pytest entry point for the CI campaign-smoke job."""
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ Twelve subcommands cover the library's workflows::
     repro trace    --out trace.json --grid 192
     repro serve    --port 8642 --workers 4 --registry plans/
     repro submit   --url http://127.0.0.1:8642 --preset tandem --wait
-    repro campaign --preset tandem --wavelengths 10,14 --thicknesses 0.1,0.2
+    repro campaign --preset tandem --wavelengths 10:16:0.5 --batch
     repro chaos    --scenario crash-resume --seed 7
     repro env
 
@@ -180,8 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the fault-injection harness (crash/resume, corruption)",
     )
     ch.add_argument("--scenario",
-                    choices=("crash-resume", "corrupt-registry",
-                             "corrupt-store", "all"),
+                    choices=("crash-resume", "batch-resume",
+                             "corrupt-registry", "corrupt-store", "all"),
                     default="all")
     ch.add_argument("--seed", type=int, default=0,
                     help="derives the injection point (crash-resume)")
@@ -205,9 +205,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobspec_args(cp, campaign=True)
     cp.add_argument("--wavelengths", default="10,12,14,16",
-                    metavar="L1,L2,...")
+                    metavar="L1,L2,... | LO:HI:STEP",
+                    help="comma list and/or inclusive ranges, e.g. "
+                         "'10:16:0.5' or '10,12:14:1,16'")
     cp.add_argument("--thicknesses", default="0.10,0.16,0.22",
-                    metavar="T1,T2,...", help="absorber thickness fractions")
+                    metavar="T1,T2,... | LO:HI:STEP",
+                    help="absorber thickness fractions (same syntax)")
+    cp.add_argument("--batch", action="store_true",
+                    help="solve each thickness's wavelengths as ONE batched "
+                         "job (12 x k stacked fields, per-point results "
+                         "deduplicated against and fanned out to the store)")
     cp.add_argument("--workers", type=int, default=2)
     cp.add_argument("--url", default=None,
                     help="submit to a running service instead of in-process")
@@ -732,9 +739,46 @@ def _cmd_submit(args) -> int:
     return 0 if doc["state"] == JobState.DONE else 2
 
 
+def _parse_sweep_values(text: str, name: str) -> list:
+    """Sweep-axis values from comma lists and/or ``lo:hi:step`` ranges.
+
+    Each comma-separated token is a scalar or an inclusive range
+    (``10:16:0.5`` -> 10, 10.5, ..., 16).  Range points are generated as
+    ``lo + i * step`` with an epsilon-padded count, so binary-fraction
+    endpoints land exactly and a ``15.9999...`` never sneaks past ``16``.
+    """
+    values: list = []
+    for token in (t.strip() for t in text.split(",")):
+        if not token:
+            continue
+        if ":" in token:
+            parts = token.split(":")
+            if len(parts) != 3:
+                raise SystemExit(
+                    f"bad {name} range {token!r}: expected LO:HI:STEP")
+            lo, hi, step = (float(p) for p in parts)
+            if step <= 0 or hi < lo:
+                raise SystemExit(
+                    f"bad {name} range {token!r}: need HI >= LO and STEP > 0")
+            count = int((hi - lo) / step + 1e-9) + 1
+            values.extend(lo + i * step for i in range(count))
+        else:
+            values.append(float(token))
+    if not values:
+        raise SystemExit(f"no {name} values given")
+    return values
+
+
 def _campaign_specs(args) -> list:
-    wavelengths = [float(w) for w in args.wavelengths.split(",") if w]
-    thicknesses = [float(t) for t in args.thicknesses.split(",") if t]
+    wavelengths = _parse_sweep_values(args.wavelengths, "wavelength")
+    thicknesses = _parse_sweep_values(args.thicknesses, "thickness")
+    if getattr(args, "batch", False):
+        # One batch job per thickness, all wavelengths in one sweep loop.
+        return [
+            dict(_spec_from_args(args, wavelength=wavelengths[0], thickness=t),
+                 kind="batch", wavelengths=wavelengths)
+            for t in thicknesses
+        ]
     return [
         _spec_from_args(args, wavelength=w, thickness=t)
         for t in thicknesses
@@ -790,8 +834,36 @@ def _cmd_campaign(args) -> int:
                     f"registry {reg['hits']} hits / {reg['misses']} misses "
                     f"({100 * hit_rate:.0f}% hit rate)"
                 )
+            batch_stats = {"dedup": 0, "solved": 0, "failed": 0}
             for spec, doc in zip(specs, docs):
                 res = doc.get("result") or {}
+                if spec.get("kind") == "batch":
+                    batch_stats["dedup"] += res.get("dedup_hits") or 0
+                    batch_stats["solved"] += res.get("solved") or 0
+                    batch_stats["failed"] += res.get("failed") or 0
+                    points = res.get("points")
+                    if points is None:  # batch job itself failed
+                        points = [{"wavelength": w, "result": None}
+                                  for w in spec["wavelengths"]]
+                    for p in points:
+                        pres = p.get("result") or {}
+                        if doc["state"] != JobState.DONE:
+                            state = doc["state"]
+                        else:
+                            state = ("failed" if p.get("error")
+                                     else JobState.DONE)
+                        rows.append({
+                            "wavelength": p["wavelength"],
+                            "thickness": spec["thickness"],
+                            "state": state,
+                            "iterations": pres.get("iterations"),
+                            "converged": pres.get("converged"),
+                            "absorbed": pres.get("absorbed"),
+                            "registry_hit": (pres.get("plan") or {}).get(
+                                "registry_hit"),
+                            "from_store": p.get("from_store"),
+                        })
+                    continue
                 rows.append({
                     "wavelength": spec["wavelength"],
                     "thickness": spec["thickness"],
@@ -801,6 +873,13 @@ def _cmd_campaign(args) -> int:
                     "absorbed": res.get("absorbed"),
                     "registry_hit": (res.get("plan") or {}).get("registry_hit"),
                 })
+            if getattr(args, "batch", False):
+                status_line += (
+                    f"; batched points: {batch_stats['dedup']} deduplicated "
+                    f"(served from store), {batch_stats['solved']} solved"
+                    + (f", {batch_stats['failed']} failed"
+                       if batch_stats["failed"] else "")
+                )
     finally:
         if rec is not None:
             _, written = tracing.stop_trace()
@@ -899,6 +978,59 @@ def _chaos_crash_resume(seed: int, grid: int) -> bool:
     return crashed >= 1
 
 
+def _chaos_batch_resume(seed: int, grid: int) -> bool:
+    """Kill a forked worker mid-way through a batched campaign job; prove
+    the retry resumes the whole batch (per-point convergence state
+    included) from its checkpoint and every per-point result fans out
+    bit-identically to an uninterrupted run."""
+    import tempfile
+
+    from .resilience import FaultPlan
+    from .service import Scheduler
+    from .service.jobs import JobSpec, JobState, run_job
+
+    # Same unreachable-tol setup as crash-resume: all three lanes
+    # deterministically run the full 240 sweeps (12 checks at cadence 20).
+    spec = JobSpec(kind="batch", preset="absorber", grid=grid, tol=1e-12,
+                   max_steps=240, max_retries=2,
+                   wavelengths=(10.0, 12.0, 14.0))
+    neutral = dict(REPRO_FAULTS=None, REPRO_CHECKPOINT_EVERY=None,
+                   REPRO_CHECKPOINT_DIR=None)
+    with _patched_env(**neutral):
+        clean = run_job(spec)
+
+    plan = FaultPlan.seeded(seed, "solver.sweep", "crash", max_after=12)
+    ckpt_dir = tempfile.mkdtemp(prefix="repro-chaos-ckpt-")
+    print(f"  fault schedule: {plan.env_value()} (seed {seed})")
+    with _patched_env(REPRO_FAULTS=plan.env_value(),
+                      REPRO_CHECKPOINT_EVERY="40",
+                      REPRO_CHECKPOINT_DIR=None):
+        sched = Scheduler(workers=1, mode="process",
+                          checkpoint_dir=ckpt_dir).start()
+        try:
+            job = sched.submit(spec)
+            sched.wait(job.id, timeout=600.0)
+        finally:
+            sched.stop()
+    crashed = sched.n_crashes
+    print(f"  worker crashes: {crashed}, attempts: {job.attempts}, "
+          f"resumed from sweep: {job.resumed_from}")
+    if job.state != JobState.DONE:
+        print(f"  job ended {job.state}: {job.error}")
+        return False
+    if job.result != clean:
+        print("  MISMATCH: resumed batch result differs from the clean run")
+        return False
+    for point in job.result["points"]:
+        if sched.store.get(point["id"]) != point["result"]:
+            print(f"  MISMATCH: fanned-out point {point['wavelength']} "
+                  f"differs from the batch result")
+            return False
+    print(f"  all {len(job.result['points'])} per-point results fanned out "
+          "bit-identically after the resume")
+    return crashed >= 1
+
+
 def _chaos_corrupt(which: str) -> bool:
     """Scribble over a persisted artifact; prove it quarantines to
     ``*.corrupt`` and the recomputed result is identical."""
@@ -950,6 +1082,7 @@ def _cmd_chaos(args) -> int:
         return 0
     scenarios = {
         "crash-resume": lambda: _chaos_crash_resume(args.seed, args.grid),
+        "batch-resume": lambda: _chaos_batch_resume(args.seed, args.grid),
         "corrupt-registry": lambda: _chaos_corrupt("registry"),
         "corrupt-store": lambda: _chaos_corrupt("store"),
     }

@@ -45,7 +45,7 @@ from .threadgroups import (
     enumerate_tg_configs,
     work_assignment,
 )
-from .tiled_solver import TiledTHIIM
+from .tiled_solver import BatchedTiledTHIIM, TiledTHIIM
 from .wavefront import RowJob, level_offsets, tile_row_jobs, wavefront_width
 
 __all__ = [
@@ -56,6 +56,7 @@ __all__ = [
     "RowSpan",
     "ThreadGroupConfig",
     "TileQueue",
+    "BatchedTiledTHIIM",
     "TiledTHIIM",
     "TiledExecutor",
     "TilingPlan",

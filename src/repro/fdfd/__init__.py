@@ -6,8 +6,13 @@ grid -- twelve field components and twenty-eight coefficient arrays per
 cell.  See DESIGN.md section 3.1 for the module inventory.
 """
 
-from .coefficients import CoefficientSet, build_coefficients, random_coefficients
-from .fields import FieldState
+from .coefficients import (
+    BatchedCoefficientSet,
+    CoefficientSet,
+    build_coefficients,
+    random_coefficients,
+)
+from .fields import BatchedFieldState, FieldState
 from .geometry import Layer, Scene, Sphere, rough_texture, sinusoidal_texture
 from .grid import Grid
 from .kernels import (
@@ -54,13 +59,17 @@ from .specs import (
     flops_for_component,
 )
 from .presets import PRESETS, preset_scene
-from .thiim import SolveResult, THIIMSolver
+from .thiim import BatchedTHIIMSolver, BatchSolveResult, SolveResult, THIIMSolver
 
 __all__ = [
     "ALL_COMPONENTS",
     "A_SI_H",
     "AIR",
     "BYTES_PER_CELL",
+    "BatchSolveResult",
+    "BatchedCoefficientSet",
+    "BatchedFieldState",
+    "BatchedTHIIMSolver",
     "CoefficientSet",
     "ComponentSpec",
     "E_COMPONENTS",

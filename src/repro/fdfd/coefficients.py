@@ -42,7 +42,7 @@ is covered by the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
@@ -56,7 +56,12 @@ from .specs import (
     ComponentSpec,
 )
 
-__all__ = ["CoefficientSet", "build_coefficients", "random_coefficients"]
+__all__ = [
+    "CoefficientSet",
+    "BatchedCoefficientSet",
+    "build_coefficients",
+    "random_coefficients",
+]
 
 
 @dataclass
@@ -106,6 +111,90 @@ class CoefficientSet:
     def spectral_radius_bound(self) -> float:
         """Max |c| over all components -- a quick stability indicator."""
         return max(float(np.max(np.abs(self.arrays[SPECS[n].coeff_c]))) for n in ALL_COMPONENTS)
+
+
+class BatchedCoefficientSet:
+    """``k`` stacked coefficient sets: 28 arrays of shape ``(k,) + grid.shape``.
+
+    Assembled once per campaign batch (:meth:`stack`) from per-point
+    :class:`CoefficientSet` objects that were built through the ordinary
+    :func:`build_coefficients` path -- each lane's coefficients are
+    therefore bit-identical to the ones an unbatched solve of that point
+    would use.  The kernels read the stacked arrays through the same
+    ``t``/``c``/``src`` accessors as the scalar set.
+    """
+
+    __slots__ = ("grid", "omegas", "taus", "arrays")
+
+    def __init__(self, grid: Grid, omegas: Sequence[float],
+                 taus: Sequence[float], arrays: Dict[str, np.ndarray]):
+        if len(omegas) != len(taus) or not omegas:
+            raise ValueError("need one (omega, tau) pair per lane")
+        k = len(omegas)
+        expected = {name for s in SPECS.values() for name in s.coeff_names}
+        missing = expected - set(arrays)
+        if missing:
+            raise KeyError(f"missing coefficient arrays: {sorted(missing)}")
+        for name, a in arrays.items():
+            if a.shape != (k,) + grid.shape:
+                raise ValueError(
+                    f"{name}: shape {a.shape} != {(k,) + grid.shape}"
+                )
+        self.grid = grid
+        self.omegas = list(omegas)
+        self.taus = list(taus)
+        self.arrays = arrays
+
+    @classmethod
+    def stack(cls, sets: Sequence[CoefficientSet]) -> "BatchedCoefficientSet":
+        """One-pass batched assembly: stack per-point sets lane by lane."""
+        if not sets:
+            raise ValueError("cannot stack an empty sequence of coefficient sets")
+        grid = sets[0].grid
+        for s in sets:
+            if s.grid.shape != grid.shape:
+                raise ValueError("all coefficient sets must share one grid shape")
+        arrays = {
+            name: np.ascontiguousarray(
+                np.stack([s.arrays[name] for s in sets])
+            )
+            for name in sets[0].arrays
+        }
+        return cls(grid, [s.omega for s in sets], [s.tau for s in sets], arrays)
+
+    @property
+    def batch_width(self) -> int:
+        return len(self.omegas)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def t(self, component: str) -> np.ndarray:
+        return self.arrays[SPECS[component].coeff_t]
+
+    def c(self, component: str) -> np.ndarray:
+        return self.arrays[SPECS[component].coeff_c]
+
+    def src(self, component: str) -> np.ndarray | None:
+        s = SPECS[component].source
+        return self.arrays[s] if s is not None else None
+
+    def lane(self, i: int) -> CoefficientSet:
+        """Zero-copy scalar view of lane ``i``."""
+        return CoefficientSet(
+            grid=self.grid, omega=self.omegas[i], tau=self.taus[i],
+            arrays={n: a[i] for n, a in self.arrays.items()},
+        )
+
+    def compact(self, keep: Sequence[int]) -> None:
+        """Drop all lanes not in ``keep`` in place (mirror of
+        :meth:`BatchedFieldState.compact`)."""
+        idx = list(keep)
+        if not idx:
+            raise ValueError("cannot compact to zero lanes")
+        self.arrays = {n: a[idx] for n, a in self.arrays.items()}
+        self.omegas = [self.omegas[i] for i in idx]
+        self.taus = [self.taus[i] for i in idx]
 
 
 def _axis_profile(grid: Grid, axis: int, spec: PMLSpec | None, staggered: bool) -> np.ndarray:

@@ -20,6 +20,18 @@ the *far* read (index ``i + shift`` along the derivative axis) is either in
 bounds or wraps on a periodic axis; :func:`clip_region` produces the
 largest valid sub-region of a requested range for a given component, and
 both the naive and the tiled path obtain their regions through it.
+
+Batch axis
+----------
+Every kernel also accepts *batched* state -- component arrays with one
+leading scenario axis, shape ``(k,) + grid.shape`` (see
+:class:`~repro.fdfd.fields.BatchedFieldState`).  Regions stay spatial
+triples; the kernels detect the extra axis from ``arr.ndim`` and prefix a
+full slice.  Because the update is purely elementwise in the stacked
+axis (no reductions), each lane of a batched update is **bit-identical**
+to running that lane alone -- the contract the batched campaign engine
+is built on: one pass over the shared stencil working set updates all
+``k`` wavelengths.
 """
 
 from __future__ import annotations
@@ -125,21 +137,26 @@ def _shifted_read(
     is the concatenation of two contiguous slices -- assembled into a
     reused scratch buffer (valid until the next ``scratch_slot`` reuse)
     instead of gathering through a modulo fancy index.
+
+    ``arr`` may carry a leading batch axis (ndim 4): ``region``/``axis``
+    stay spatial and the batch axis is read whole.
     """
+    lead = arr.ndim - 3
+    pre = (slice(None),) * lead
     lo = region[axis].start + shift
     hi = region[axis].stop + shift
-    n = arr.shape[axis]
+    n = arr.shape[lead + axis]
     sl = list(region)
     if 0 <= lo and hi <= n:
         sl[axis] = slice(lo, hi)
-        return arr[tuple(sl)]
+        return arr[pre + tuple(sl)]
     if not periodic:
         raise IndexError(
             f"shifted read [{lo}, {hi}) out of bounds on non-periodic axis {axis}"
         )
     if lo < 0 and hi > n:  # |shift| > 1 never happens for these stencils
         sl[axis] = np.arange(lo, hi) % n
-        return arr[tuple(sl)]
+        return arr[pre + tuple(sl)]
     sl2 = list(region)
     if lo < 0:
         sl[axis] = slice(n + lo, n)
@@ -147,11 +164,12 @@ def _shifted_read(
     else:
         sl[axis] = slice(lo, n)
         sl2[axis] = slice(0, hi - n)
-    shape = tuple(
+    shape = arr.shape[:lead] + tuple(
         (hi - lo) if ax == axis else (s.stop - s.start) for ax, s in enumerate(region)
     )
     out = _scratch(shape, arr.dtype, 100 + scratch_slot)
-    np.concatenate((arr[tuple(sl)], arr[tuple(sl2)]), axis=axis, out=out)
+    np.concatenate((arr[pre + tuple(sl)], arr[pre + tuple(sl2)]),
+                   axis=lead + axis, out=out)
     return out
 
 
@@ -169,6 +187,10 @@ def update_component(
     exactly the operation order of the plain expression
     ``t * (A' + B' - A - B) + c * F (+ src)`` -- results are bit-identical
     to the allocating form.
+
+    Batched state (arrays with a leading scenario axis) updates every
+    lane in the same pass; the arithmetic per lane is the same elementwise
+    sequence, so each lane stays bit-identical to an unbatched update.
     """
     spec = SPECS[name]
     grid = fields.grid
@@ -177,10 +199,12 @@ def update_component(
 
     a = fields[spec.reads[0]]
     b = fields[spec.reads[1]]
-    shape = tuple(sl.stop - sl.start for sl in region)
+    lead = a.ndim - 3
+    reg = (slice(None),) * lead + region
+    shape = a.shape[:lead] + tuple(sl.stop - sl.start for sl in region)
     s1 = _scratch(shape, a.dtype, 0)
     s2 = _scratch(shape, a.dtype, 1)
-    near = np.add(a[region], b[region], out=s1)
+    near = np.add(a[reg], b[reg], out=s1)
     far = np.add(
         _shifted_read(a, region, axis, spec.shift, periodic, scratch_slot=0),
         _shifted_read(b, region, axis, spec.shift, periodic, scratch_slot=1),
@@ -194,12 +218,12 @@ def update_component(
         diff = np.subtract(near, far, out=s2)
 
     f = fields[name]
-    out = np.multiply(coeffs.t(name)[region], diff, out=s1)
-    out += np.multiply(coeffs.c(name)[region], f[region], out=s2)
+    out = np.multiply(coeffs.t(name)[reg], diff, out=s1)
+    out += np.multiply(coeffs.c(name)[reg], f[reg], out=s2)
     src = coeffs.src(name)
     if src is not None:
-        out += src[region]
-    f[region] = out
+        out += src[reg]
+    f[reg] = out
 
 
 def _update_group(
@@ -211,14 +235,16 @@ def _update_group(
     x: tuple[int, int] | None,
 ) -> int:
     """Update a group of components over a clipped box; returns cell-updates
-    performed (for the performance counters)."""
+    performed (for the performance counters).  Batched state counts every
+    lane (``k`` LUPs per cell for a width-``k`` batch)."""
     grid = fields.grid
+    width = getattr(fields, "batch_width", 1)
     done = 0
     for name in components:
         region = clip_region(grid, SPECS[name], z=z, y=y, x=x)
         if region is not None:
             update_component(name, fields, coeffs, region)
-            done += region_lups(region)
+            done += region_lups(region) * width
     return done
 
 

@@ -18,22 +18,29 @@ equations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Callable, Mapping
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..resilience import faults
 from ..resilience.errors import SolverDiverged
-from .coefficients import CoefficientSet, build_coefficients
-from .fields import FieldState
+from .coefficients import BatchedCoefficientSet, CoefficientSet, build_coefficients
+from .fields import BatchedFieldState, FieldState
 from .geometry import Scene
 from .grid import Grid
 from .kernels import naive_sweep, spatial_blocked_sweep, step
 from .observables import relative_change
 from .pml import PMLSpec
 from .sources import PlaneWaveSource
+from .specs import ALL_COMPONENTS
 
-__all__ = ["SolveResult", "THIIMSolver", "divergence_reason"]
+__all__ = [
+    "SolveResult",
+    "BatchSolveResult",
+    "THIIMSolver",
+    "BatchedTHIIMSolver",
+    "divergence_reason",
+]
 
 #: Residual blow-up policy: diverged once the residual grew for this many
 #: consecutive checks AND sits this far above the best residual seen.  A
@@ -263,3 +270,289 @@ class THIIMSolver:
             if mat.name == name:
                 mask |= ids == mid
         return mask
+
+
+# -- batched (campaign) driver -------------------------------------------------
+
+
+@dataclass
+class BatchSolveResult:
+    """Outcome of a batched THIIM run: one :class:`SolveResult` per point,
+    in the original lane order, plus per-point divergence reasons."""
+
+    results: List[SolveResult]
+    diverged: List[Optional[str]]
+
+    @property
+    def batch_width(self) -> int:
+        return len(self.results)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(r.converged for r in self.results)
+
+
+class _BatchSnapshotView:
+    """Full-width ``(k,) + grid.shape`` snapshot adapter.
+
+    Duck-types the ``fields`` protocol :class:`CheckpointManager` expects
+    (grid attribute, iteration over component names, item get/set), so a
+    batched snapshot rides the exact same atomic ``.npz`` machinery as a
+    scalar one -- token guard, quarantine, fault sites and all.
+    """
+
+    __slots__ = ("grid", "_arrays")
+
+    def __init__(self, grid: Grid, arrays: Optional[Dict[str, np.ndarray]] = None):
+        self.grid = grid
+        self._arrays = dict(arrays or {})
+
+    def __iter__(self):
+        return iter(ALL_COMPONENTS)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        self._arrays[name] = np.ascontiguousarray(value)
+
+
+def _save_batch_checkpoint(
+    checkpoint,
+    grid: Grid,
+    width: int,
+    fields: BatchedFieldState,
+    active: List[int],
+    results: List[Optional[SolveResult]],
+    histories: List[List[float]],
+    reasons: List[Optional[str]],
+    steps: int,
+    extras_get: Optional[Callable[[], Dict]] = None,
+) -> None:
+    """Snapshot the whole batch: active lanes scattered back to their
+    original indices, finished lanes frozen from their results."""
+    full: Dict[str, np.ndarray] = {}
+    for name in ALL_COMPONENTS:
+        arr = np.empty((width,) + grid.shape, dtype=np.complex128)
+        for pos, idx in enumerate(active):
+            arr[idx] = fields[name][pos]
+        for idx, r in enumerate(results):
+            if r is not None:
+                arr[idx] = r.fields[name]
+        full[name] = arr
+    extras: Dict = {
+        "batch": {
+            "width": width,
+            "active": list(active),
+            "histories": [[float(v) for v in h] for h in histories],
+            "reasons": list(reasons),
+            "done": {
+                str(idx): {
+                    "iterations": int(r.iterations),
+                    "residual": float(r.residual),
+                    "converged": bool(r.converged),
+                }
+                for idx, r in enumerate(results)
+                if r is not None
+            },
+        }
+    }
+    if extras_get is not None:
+        extras.update(extras_get())
+    checkpoint.save(_BatchSnapshotView(grid, full), steps, [], extras=extras)
+
+
+def run_batched_loop(
+    fields: BatchedFieldState,
+    coeffs: BatchedCoefficientSet,
+    advance: Callable[[int], None],
+    step_size: Callable[[int], int],
+    tol: float,
+    max_steps: int,
+    checkpoint=None,
+    extras_get: Optional[Callable[[], Dict]] = None,
+    extras_set: Optional[Callable[[Dict], None]] = None,
+) -> BatchSolveResult:
+    """The shared batched convergence loop (naive and tiled drivers).
+
+    Replicates the scalar :meth:`THIIMSolver.solve` cadence exactly, but
+    checks convergence **per point**: each active lane's residual is the
+    lane-view :func:`relative_change` (identical reduction order to a
+    scalar solve of that point), lanes that converge or diverge are
+    frozen via :meth:`BatchedFieldState.extract` and dropped from the
+    working stack in place, so remaining points stop paying for finished
+    ones.  ``advance(n)`` sweeps all *currently active* lanes ``n``
+    steps; ``step_size(steps)`` is the driver's chunk policy
+    (``min(check_every, remaining)`` for the naive path, the tile chunk
+    for the wavefront path).
+
+    With a ``checkpoint`` the loop resumes from (and re-snapshots) a
+    full-width batch snapshot -- per-point histories, statuses and
+    frozen lanes included -- continuing bit-identically.
+    """
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    width = fields.batch_width
+    grid = fields.grid
+    active: List[int] = list(range(width))
+    histories: List[List[float]] = [[] for _ in range(width)]
+    results: List[Optional[SolveResult]] = [None] * width
+    reasons: List[Optional[str]] = [None] * width
+    steps = 0
+
+    if checkpoint is not None:
+        view = _BatchSnapshotView(grid)
+        restored = checkpoint.resume(view)
+        if restored is not None and (restored.extras or {}).get("batch"):
+            b = restored.extras["batch"]
+            steps = restored.steps
+            active = [int(i) for i in b["active"]]
+            histories = [[float(v) for v in h] for h in b["histories"]]
+            reasons = [None if r is None else str(r) for r in b["reasons"]]
+            for idx_s, meta in (b.get("done") or {}).items():
+                idx = int(idx_s)
+                lane_fields = FieldState(
+                    grid,
+                    {n: np.ascontiguousarray(view[n][idx]) for n in ALL_COMPONENTS},
+                )
+                results[idx] = SolveResult(
+                    lane_fields,
+                    int(meta["iterations"]),
+                    float(meta["residual"]),
+                    bool(meta["converged"]),
+                    list(histories[idx]),
+                )
+            if active:
+                if len(active) != width:
+                    coeffs.compact(active)
+                fields.adopt(
+                    {n: np.ascontiguousarray(view[n][active]) for n in ALL_COMPONENTS}
+                )
+            if extras_set is not None:
+                extras_set(restored.extras)
+
+    previous = fields.copy() if active else None
+    while steps < max_steps and active:
+        n = step_size(steps)
+        if n < 1:
+            break
+        faults.hit("solver.sweep")
+        advance(n)
+        steps += n
+        finished: List[int] = []
+        for pos, idx in enumerate(active):
+            res = relative_change(fields.lane(pos), previous.lane(pos)) / n
+            histories[idx].append(res)
+            reason = divergence_reason(res, histories[idx])
+            if reason is not None:
+                reasons[idx] = reason
+                results[idx] = SolveResult(
+                    fields.extract(pos), steps, res, False, list(histories[idx])
+                )
+                finished.append(pos)
+            elif res < tol:
+                results[idx] = SolveResult(
+                    fields.extract(pos), steps, res, True, list(histories[idx])
+                )
+                finished.append(pos)
+        if finished:
+            drop = set(finished)
+            keep = [p for p in range(len(active)) if p not in drop]
+            active = [active[p] for p in keep]
+            if not active:
+                break
+            fields.compact(keep)
+            coeffs.compact(keep)
+        previous = fields.copy()
+        if checkpoint is not None and checkpoint.due(steps):
+            _save_batch_checkpoint(
+                checkpoint, grid, width, fields, active, results,
+                histories, reasons, steps, extras_get,
+            )
+
+    # Points that ran out of budget: frozen as non-converged, like the
+    # scalar loop's fall-through return.
+    for pos, idx in enumerate(active):
+        res = histories[idx][-1] if histories[idx] else np.inf
+        results[idx] = SolveResult(
+            fields.extract(pos), steps, res, False, list(histories[idx])
+        )
+    return BatchSolveResult(results=list(results), diverged=reasons)
+
+
+class BatchedTHIIMSolver:
+    """THIIM over ``k`` wavelengths of one scene in a single sweep loop.
+
+    Builds one ordinary :class:`THIIMSolver` per lane (identical
+    construction path, hence bit-identical coefficients -- ``sigma`` is
+    omega-dependent, so rasterization genuinely differs per lane), then
+    stacks fields and coefficients into ``12 x k`` / ``28 x k`` arrays
+    the kernels update in one pass over the shared stencil working set.
+
+    The per-lane solvers stay available as ``self.lanes`` -- the batched
+    checkpoint token hashes each lane's scalar token, and diagnostics can
+    drop to a single lane.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        omegas: Sequence[float],
+        scene: Scene | None = None,
+        source: PlaneWaveSource | None = None,
+        pml: Mapping[str, PMLSpec] | None = None,
+        tau: float | None = None,
+        supersample: int = 1,
+    ) -> None:
+        omegas = [float(w) for w in omegas]
+        if not omegas:
+            raise ValueError("need at least one omega")
+        self.grid = grid
+        self.omegas = omegas
+        self.scene = scene
+        self.lanes = [
+            THIIMSolver(grid, w, scene=scene, source=source, pml=pml,
+                        tau=tau, supersample=supersample)
+            for w in omegas
+        ]
+        self.fields = BatchedFieldState.stack([lane.fields for lane in self.lanes])
+        self.coefficients = BatchedCoefficientSet.stack(
+            [lane.coefficients for lane in self.lanes]
+        )
+
+    @property
+    def batch_width(self) -> int:
+        return len(self.omegas)
+
+    def reset(self) -> None:
+        """Zero all lanes and restore any compacted-away ones."""
+        self.fields = BatchedFieldState(self.grid, width=self.batch_width)
+        self.coefficients = BatchedCoefficientSet.stack(
+            [lane.coefficients for lane in self.lanes]
+        )
+
+    def solve(
+        self,
+        tol: float = 1e-6,
+        max_steps: int = 5000,
+        check_every: int = 20,
+        checkpoint=None,
+    ) -> BatchSolveResult:
+        """Iterate all lanes to convergence with per-point masking.
+
+        Every lane's result is bit-identical to a scalar
+        :meth:`THIIMSolver.solve` of that point with the same ``tol`` /
+        ``max_steps`` / ``check_every`` -- the property tests assert it,
+        staggered convergence included.
+        """
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        return run_batched_loop(
+            self.fields,
+            self.coefficients,
+            advance=lambda n: naive_sweep(self.fields, self.coefficients, n),
+            step_size=lambda steps: min(check_every, max_steps - steps),
+            tol=tol,
+            max_steps=max_steps,
+            checkpoint=checkpoint,
+        )

@@ -46,6 +46,7 @@ __all__ = [
     "Checkpoint",
     "CheckpointManager",
     "solver_token",
+    "batched_solver_token",
     "latest_lag_s",
     "take_report",
 ]
@@ -104,6 +105,28 @@ def solver_token(solver, **cadence) -> str:
     if coeffs.back_mask is not None:
         h.update(np.ascontiguousarray(coeffs.back_mask).tobytes())
     return h.hexdigest()[:32]
+
+
+def batched_solver_token(batched, **cadence) -> str:
+    """Token of a *batched* solve: the batch width plus every lane's
+    scalar token (in lane order).
+
+    The width is part of the hash on purpose: a width-``k`` batch and a
+    per-point solve of the same scene must never resume from each
+    other's snapshots -- a batched snapshot carries ``(k,) + shape``
+    arrays plus per-point loop state, so cross-resume would either crash
+    or, worse, silently compute from foreign state.  Distinct tokens
+    make such a resume a quarantine (or a :class:`CheckpointMismatch`
+    in strict mode) instead.
+    """
+    h = hashlib.sha256()
+    h.update(json.dumps(
+        {"version": CHECKPOINT_VERSION, "batch": len(batched.lanes),
+         "cadence": dict(sorted(cadence.items()))},
+        sort_keys=True).encode())
+    for lane in batched.lanes:
+        h.update(solver_token(lane, **cadence).encode())
+    return "b" + h.hexdigest()[:31]
 
 
 class CheckpointManager:

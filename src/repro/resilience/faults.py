@@ -71,9 +71,9 @@ SITES = (
     "store.write",       # result-store file store
     "checkpoint.write",  # solver checkpoint snapshot
     "checkpoint.read",   # solver checkpoint resume
-    "solver.sweep",      # each THIIM convergence-check block
+    "solver.sweep",      # each THIIM convergence-check block (scalar + batched)
     "tile.execute",      # each wavefront-diamond tile
-    "job.run",           # top of run_job (any worker)
+    "job.run",           # top of run_job (any worker, incl. batch jobs)
     "http.request",      # top of every HTTP handler
 )
 

@@ -22,14 +22,14 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..core import tracing
 from ..resilience import faults
 
 __all__ = ["JobSpec", "Job", "JobState", "run_job", "FAULTS"]
 
-KINDS = ("solve", "tune")
+KINDS = ("solve", "tune", "batch")
 TUNING_POLICIES = ("spec", "registry")
 VARIANTS = ("spatial", "1wd", "mwd")
 #: Test hooks for the retry machinery.  ``fail_once`` raises on the first
@@ -70,6 +70,10 @@ class JobSpec:
     grid: int = 48
     wavelength: float = 12.0
     thickness: Optional[float] = None
+    #: Batch jobs only: the k wavelengths solved in one batched sweep
+    #: (``kind="batch"``; ``wavelength`` is ignored for identity purposes
+    #: and each point inherits every other field).
+    wavelengths: Optional[Tuple[float, ...]] = None
     # -- solve numerics ------------------------------------------------------
     tol: float = 1e-5
     max_steps: int = 3000
@@ -102,6 +106,19 @@ class JobSpec:
             raise ValueError("grid must be >= 10 for solves (>= 8 for tune)")
         if self.wavelength <= 0:
             raise ValueError("wavelength must be positive")
+        if self.kind == "batch":
+            if not self.wavelengths:
+                raise ValueError("batch jobs need a non-empty wavelengths tuple")
+            ws = tuple(float(w) for w in self.wavelengths)
+            if any(w <= 0 for w in ws):
+                raise ValueError("every batch wavelength must be positive")
+            if len(set(ws)) != len(ws):
+                raise ValueError("batch wavelengths must be unique")
+            # Normalize (lists from JSON -> tuple) so identity hashing and
+            # frozen-dataclass equality are canonical.
+            object.__setattr__(self, "wavelengths", ws)
+        elif self.wavelengths is not None:
+            raise ValueError("wavelengths is only valid for kind='batch'")
         if self.tol <= 0:
             raise ValueError("tol must be positive")
         if self.max_steps < 1:
@@ -125,7 +142,26 @@ class JobSpec:
 
     def identity(self) -> Dict[str, Any]:
         """The computational fields, canonically ordered."""
-        return {f: getattr(self, f) for f in _IDENTITY_FIELDS}
+        d = {f: getattr(self, f) for f in _IDENTITY_FIELDS}
+        if self.wavelengths is not None:
+            # Included only for batch jobs so per-point job ids predating
+            # the batch axis are unchanged.
+            d["wavelengths"] = list(self.wavelengths)
+            # A batch's identity is its wavelength *set*; the scalar
+            # wavelength field is inert for batch jobs.
+            d["wavelength"] = None
+        return d
+
+    def point_spec(self, wavelength: float) -> "JobSpec":
+        """The per-point solve spec of one batch lane: identical in every
+        computational field, so its job id is exactly the id a direct
+        per-point submission of that wavelength would get -- the handle
+        the batch path dedups and fans out through."""
+        if self.kind != "batch":
+            raise ValueError("point_spec is only meaningful on batch jobs")
+        return dataclasses.replace(
+            self, kind="solve", wavelength=float(wavelength), wavelengths=None
+        )
 
     @property
     def job_id(self) -> str:
@@ -322,15 +358,11 @@ def _checkpoint_for(spec: JobSpec, solver, checkpoint_dir, **cadence):
     )
 
 
-def _run_solve(spec: JobSpec, registry,
-               checkpoint_dir: Optional[str] = None) -> Dict[str, Any]:
-    import numpy as np
-
-    from ..core.tiled_solver import TiledTHIIM
-    from ..fdfd import (
-        Grid, PMLSpec, PlaneWaveSource, THIIMSolver,
-        absorbed_power, poynting_flux_z,
-    )
+def _solve_geometry(spec: JobSpec):
+    """The solve-service geometry of a spec: grid, scene, source and PML
+    (identical for every wavelength of a batch -- the shared-structure
+    property the batched engine exploits)."""
+    from ..fdfd import Grid, PMLSpec, PlaneWaveSource
     from ..fdfd.presets import preset_scene
 
     n = spec.grid
@@ -339,14 +371,46 @@ def _run_solve(spec: JobSpec, registry,
     # non-periodic y/z.
     periodic = (False, not spec.tiled, not spec.tiled)
     grid = Grid(nz=nz, ny=n, nx=n, periodic=periodic)
-    omega = 2 * np.pi / spec.wavelength
     scene = preset_scene(spec.preset, nz, thickness=spec.thickness)
     source_plane = max(nz // 8, 12)
-    solver = THIIMSolver(
-        grid, omega, scene=scene,
-        source=PlaneWaveSource(z_plane=source_plane, z_width=2.0),
-        pml={"z": PMLSpec(thickness=max(nz // 10, 6))},
-    )
+    source = PlaneWaveSource(z_plane=source_plane, z_width=2.0)
+    pml = {"z": PMLSpec(thickness=max(nz // 10, 6))}
+    return grid, scene, source_plane, source, pml
+
+
+def _point_doc(grid, omega: float, plan: Dict[str, Any], result,
+               sigma, scene, source_plane: int) -> Dict[str, Any]:
+    """The per-point result document -- one assembly path for scalar and
+    batched solves, so fan-out results are field-for-field the dicts a
+    per-point execution would store."""
+    from ..fdfd import absorbed_power, poynting_flux_z
+
+    out: Dict[str, Any] = {
+        "kind": "solve",
+        "grid": list(grid.shape),
+        "omega": omega,
+        "plan": plan,
+        "iterations": result.iterations,
+        "residual": float(result.residual),
+        "converged": bool(result.converged),
+        "checksum": _field_checksum(result.fields),
+    }
+    if scene is not None:
+        out["absorbed"] = float(absorbed_power(result.fields, sigma))
+        out["incident"] = float(poynting_flux_z(result.fields, source_plane + 4))
+    return out
+
+
+def _run_solve(spec: JobSpec, registry,
+               checkpoint_dir: Optional[str] = None) -> Dict[str, Any]:
+    import numpy as np
+
+    from ..core.tiled_solver import TiledTHIIM
+    from ..fdfd import THIIMSolver
+
+    grid, scene, source_plane, source, pml = _solve_geometry(spec)
+    omega = 2 * np.pi / spec.wavelength
+    solver = THIIMSolver(grid, omega, scene=scene, source=source, pml=pml)
     plan = _resolve_plan(spec, registry)
     if plan["tiled"]:
         driver = TiledTHIIM(solver, dw=plan["dw"], bz=plan["bz"])
@@ -362,21 +426,114 @@ def _run_solve(spec: JobSpec, registry,
         # snapshot has served its purpose (a crash after this point
         # requeues the job, which the result store then serves).
         ckpt.clear()
+    return _point_doc(grid, omega, plan, result, solver.sigma, scene,
+                      source_plane)
 
-    out: Dict[str, Any] = {
-        "kind": "solve",
-        "grid": list(grid.shape),
-        "omega": omega,
+
+def _batch_checkpoint_for(spec: JobSpec, batched, checkpoint_dir, **cadence):
+    """Checkpoint manager for a batch job.  The token is the *batched*
+    one (batch width + every lane's scalar token), so a batch snapshot
+    can never resume from -- or be resumed by -- a per-point solve's
+    artifact, even though both are named by content-addressed job ids."""
+    from .. import config
+    from ..resilience.checkpoint import CheckpointManager, batched_solver_token
+
+    directory = checkpoint_dir or config.checkpoint_dir()
+    every = config.checkpoint_every()
+    if not directory or every < 1:
+        return None
+    return CheckpointManager(
+        directory, name=spec.job_id,
+        token=batched_solver_token(batched, tol=spec.tol,
+                                   max_steps=spec.max_steps, **cadence),
+        every=every,
+    )
+
+
+def _run_batch_solve(spec: JobSpec, registry, store=None,
+                     checkpoint_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Solve a wavelength batch: dedup stored points, run the remainder
+    as ONE batched sweep loop, fan per-point results back out.
+
+    Every solved point's document is assembled by the same
+    :func:`_point_doc` path as a scalar solve and is stored under the
+    per-point job id, so later per-point submissions are served from the
+    store bit-identically.  The tuned plan is resolved once and shared
+    (the tiling plan depends on grid/machine/threads, not wavelength).
+    Lanes that diverge become failed points (reported, never stored);
+    they do not fail the batch.
+    """
+    import numpy as np
+
+    from ..core.tiled_solver import BatchedTiledTHIIM
+    from ..fdfd import BatchedTHIIMSolver
+
+    wavelengths = list(spec.wavelengths or ())
+    point_specs = [spec.point_spec(w) for w in wavelengths]
+    docs: Dict[int, Optional[Dict[str, Any]]] = {}
+    errors: Dict[int, str] = {}
+    from_store = [False] * len(wavelengths)
+    todo = []
+    for i, ps in enumerate(point_specs):
+        cached = store.get(ps.job_id) if store is not None else None
+        if cached is not None:
+            docs[i] = cached
+            from_store[i] = True
+        else:
+            todo.append(i)
+
+    plan = _resolve_plan(spec, registry)
+    if todo:
+        grid, scene, source_plane, source, pml = _solve_geometry(spec)
+        omegas = [2 * np.pi / wavelengths[i] for i in todo]
+        batched = BatchedTHIIMSolver(grid, omegas, scene=scene,
+                                     source=source, pml=pml)
+        if plan["tiled"]:
+            driver = BatchedTiledTHIIM(batched, dw=plan["dw"], bz=plan["bz"])
+            ckpt = _batch_checkpoint_for(spec, batched, checkpoint_dir,
+                                         chunk=driver.chunk)
+            batch_result = driver.solve(tol=spec.tol, max_steps=spec.max_steps,
+                                        checkpoint=ckpt)
+        else:
+            ckpt = _batch_checkpoint_for(spec, batched, checkpoint_dir,
+                                         check_every=20)
+            batch_result = batched.solve(tol=spec.tol, max_steps=spec.max_steps,
+                                         check_every=20, checkpoint=ckpt)
+        if ckpt is not None:
+            ckpt.clear()
+        for lane, i in enumerate(todo):
+            reason = batch_result.diverged[lane]
+            if reason is not None:
+                errors[i] = f"SolverDiverged: {reason}"
+                docs[i] = None
+                continue
+            result = batch_result.results[lane]
+            doc = _point_doc(grid, omegas[lane], plan, result,
+                             batched.lanes[lane].sigma, scene, source_plane)
+            docs[i] = doc
+            if store is not None:
+                store.put(point_specs[i].job_id, doc)
+
+    points = []
+    for i, w in enumerate(wavelengths):
+        entry: Dict[str, Any] = {
+            "wavelength": w,
+            "id": point_specs[i].job_id,
+            "from_store": from_store[i],
+            "result": docs.get(i),
+        }
+        if i in errors:
+            entry["error"] = errors[i]
+        points.append(entry)
+    return {
+        "kind": "batch",
+        "batch_width": len(wavelengths),
         "plan": plan,
-        "iterations": result.iterations,
-        "residual": float(result.residual),
-        "converged": bool(result.converged),
-        "checksum": _field_checksum(solver.fields),
+        "dedup_hits": sum(from_store),
+        "solved": len(todo),
+        "failed": len(errors),
+        "points": points,
     }
-    if scene is not None:
-        out["absorbed"] = float(absorbed_power(solver.fields, solver.sigma))
-        out["incident"] = float(poynting_flux_z(solver.fields, source_plane + 4))
-    return out
 
 
 def run_job(
@@ -385,6 +542,7 @@ def run_job(
     attempt: int = 1,
     in_child: bool = False,
     checkpoint_dir: Optional[str] = None,
+    store=None,
 ) -> Dict[str, Any]:
     """Execute a spec and return its JSON-serializable result.
 
@@ -394,6 +552,10 @@ def run_job(
     preserves this: a run resumed from a snapshot replays the identical
     sweep sequence, and resume provenance travels on the Job record
     (never in this result dict).
+
+    ``store`` is only consulted by batch jobs: already-stored points are
+    deduplicated away and freshly solved points are fanned back out
+    under their per-point job ids.
     """
     faults.set_attempt(attempt)
     with tracing.span(
@@ -404,4 +566,7 @@ def run_job(
         _inject_fault(spec, attempt, in_child)
         if spec.kind == "tune":
             return _run_tune(spec, registry)
+        if spec.kind == "batch":
+            return _run_batch_solve(spec, registry, store=store,
+                                    checkpoint_dir=checkpoint_dir)
         return _run_solve(spec, registry, checkpoint_dir=checkpoint_dir)

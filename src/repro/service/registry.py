@@ -65,14 +65,25 @@ class PlanRegistry:
         threads: int,
         tg_size: Optional[int] = None,
         variant: str = "mwd",
+        batch: Optional[int] = None,
     ) -> str:
-        """Content key: variant, grid shape, machine-spec hash, threads, TG."""
+        """Content key: variant, grid shape, machine-spec hash, threads, TG.
+
+        ``batch`` (a batch width) extends the key for entries whose
+        payload depends on the width; ``None`` (the default, and what
+        the solve path uses -- the tiling plan depends only on grid,
+        machine and threads, so one tuned plan serves a whole campaign
+        batch) preserves every pre-batch key unchanged.  Keeping the two
+        namespaces disjoint guarantees a width-tagged entry can never
+        shadow or poison a per-point one.
+        """
         machine_hash = hashlib.sha1(
             json.dumps(dataclasses.asdict(spec), sort_keys=True).encode()
         ).hexdigest()[:16]
-        payload = json.dumps(
-            [REGISTRY_VERSION, variant, grid, machine_hash, threads, tg_size]
-        )
+        fields = [REGISTRY_VERSION, variant, grid, machine_hash, threads, tg_size]
+        if batch is not None:
+            fields.append(["batch", int(batch)])
+        payload = json.dumps(fields)
         return hashlib.sha1(payload.encode()).hexdigest()[:20]
 
     def _path(self, key: str) -> Optional[str]:

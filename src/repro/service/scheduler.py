@@ -68,7 +68,8 @@ class WorkerCrash(RuntimeError):
 
 
 def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
-                 out_path: str, checkpoint_dir: Optional[str] = None) -> None:
+                 out_path: str, checkpoint_dir: Optional[str] = None,
+                 store_root: Optional[str] = None) -> None:
     """Forked worker body: run the job, spool the outcome atomically.
 
     Exits 0 with an ``{"ok": ...}`` envelope for both success and
@@ -78,6 +79,11 @@ def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
     (rehydrated via :func:`~repro.resilience.errors.error_from_kind`),
     the checkpoint report (path / saves / resume point -- how crashed
     jobs get resumed), and the child's resilience-counter deltas.
+
+    ``store_root`` gives batch jobs a root-backed result store for
+    per-point dedup/fan-out inside the child; the parent additionally
+    replays the fan-out puts from the returned batch result, which is
+    what covers in-memory stores.
     """
     faults.set_in_child(True)
     # The fork inherited the parent's counters; reset so the spooled
@@ -85,9 +91,11 @@ def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
     RESILIENCE_COUNTERS.reset()
     spec = JobSpec.from_dict(spec_dict)
     registry = PlanRegistry(registry_root)
+    store = ResultStore(store_root) if store_root else None
     try:
         result = run_job(spec, registry=registry, attempt=attempt,
-                         in_child=True, checkpoint_dir=checkpoint_dir)
+                         in_child=True, checkpoint_dir=checkpoint_dir,
+                         store=store)
         payload = {"ok": True, "result": result}
     except BaseException as exc:  # noqa: BLE001 - the envelope is the report
         payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}",
@@ -410,7 +418,8 @@ class Scheduler:
                     try:
                         result = run_job(job.spec, registry=self.registry,
                                          attempt=attempt,
-                                         checkpoint_dir=self.checkpoint_dir)
+                                         checkpoint_dir=self.checkpoint_dir,
+                                         store=self.store)
                     finally:
                         report = take_report()
         except Exception as exc:  # noqa: BLE001 - converted to job outcome
@@ -418,6 +427,14 @@ class Scheduler:
                 job, report or getattr(exc, "checkpoint_report", None))
             self._on_failure(job, attempt, exc)
             return
+        if self.mode == "process" and result.get("kind") == "batch":
+            # Replay the batch's per-point fan-out into this scheduler's
+            # store: the child only shares root-backed stores, so this is
+            # what covers in-memory stores (and is idempotent -- the docs
+            # are the exact ones a root-backed child already wrote).
+            for point in result.get("points") or []:
+                if not point.get("from_store") and point.get("result"):
+                    self.store.put(point["id"], point["result"])
         self.store.put(job.id, result)
         with self._cv:
             job.result = result
@@ -451,7 +468,7 @@ class Scheduler:
         proc = ctx.Process(
             target=_child_entry,
             args=(spec.to_dict(), attempt, self.registry.root, out_path,
-                  self.checkpoint_dir),
+                  self.checkpoint_dir, self.store.root),
         )
         proc.start()
         proc.join(timeout=spec.timeout_s)
