@@ -139,7 +139,7 @@ def check_service_health() -> str:
             time.sleep(0.1)
         assert job["state"] == "done", job.get("error")
 
-        status, metrics = request("GET", f"{base}/metrics")
+        status, metrics = request("GET", f"{base}/metrics?format=json")
         assert status == 200
         assert "resilience" in metrics, sorted(metrics)
         counters = metrics["resilience"]["counters"]

@@ -93,7 +93,7 @@ def main() -> int:
         plan = done_b["result"]["plan"]
         assert plan["source"] == "registry", f"tiled plan came from {plan}"
 
-        status, metrics = request("GET", f"{base}/metrics")
+        status, metrics = request("GET", f"{base}/metrics?format=json")
         assert status == 200
         sched = metrics["scheduler"]
         assert sched["submitted"] == 3, sched

@@ -34,7 +34,7 @@ def __getattr__(name):
     # ``repro.experiments`` / ``repro.cluster`` / ``repro.io`` import on
     # first touch (keeps ``import repro`` light for solver-only users).
     if name in ("core", "machine", "experiments", "cluster", "io", "cli",
-                "service", "config", "ioutil"):
+                "service", "config", "ioutil", "telemetry"):
         import importlib
 
         module = importlib.import_module(f".{name}", __name__)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Twelve subcommands cover the library's workflows::
+Fourteen subcommands cover the library's workflows::
 
     repro solve    --preset absorber --grid 48 --wavelength 12 --tol 1e-5
     repro tune     --grid 384 --threads 18 --variant mwd
@@ -12,6 +12,8 @@ Twelve subcommands cover the library's workflows::
     repro serve    --port 8642 --workers 4 --registry plans/
     repro submit   --url http://127.0.0.1:8642 --preset tandem --wait
     repro campaign --preset tandem --wavelengths 10:16:0.5 --batch
+    repro tail     <job-id> --url http://127.0.0.1:8642
+    repro top      --url http://127.0.0.1:8642
     repro chaos    --scenario crash-resume --seed 7
     repro env
 
@@ -174,6 +176,22 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--queue-file", default=None, metavar="FILE",
                     help="spool queued jobs here on shutdown and restore "
                          "them on start (default: REPRO_QUEUE_FILE)")
+
+    tl = sub.add_parser(
+        "tail", help="stream a job's live progress events (NDJSON follow)")
+    tl.add_argument("job_id", help="the job id to follow")
+    tl.add_argument("--url", default="http://127.0.0.1:8642")
+    tl.add_argument("--raw", action="store_true",
+                    help="print the raw JSON event lines instead of the "
+                         "human-readable digest")
+    tl.add_argument("--timeout", type=float, default=300.0,
+                    help="overall read timeout in seconds")
+
+    tp = sub.add_parser(
+        "top", help="one-shot service snapshot: queue, rates, live jobs")
+    tp.add_argument("--url", default="http://127.0.0.1:8642")
+    tp.add_argument("--json", action="store_true",
+                    help="emit the raw snapshot JSON instead of the table")
 
     ch = sub.add_parser(
         "chaos",
@@ -907,6 +925,135 @@ def _cmd_campaign(args) -> int:
     return 0 if all(r["state"] == JobState.DONE for r in rows) else 2
 
 
+# -- live telemetry (tail / top) -----------------------------------------------
+
+
+def _format_event(ev: dict) -> str:
+    """One human-readable line per progress event (``repro tail``)."""
+    kind = ev.get("kind", "?")
+    if kind == "progress":
+        line = f"sweep {ev.get('sweeps'):>6}  residual {ev.get('residual'):.3e}"
+        if ev.get("tiled"):
+            line += "  (tiled)"
+        return line
+    if kind == "batch":
+        residuals = ev.get("residuals") or {}
+        worst = max(residuals.values()) if residuals else float("nan")
+        line = (f"sweep {ev.get('sweeps'):>6}  {ev.get('active')} lane(s) "
+                f"active, worst residual {worst:.3e}")
+        if ev.get("compacted"):
+            line += f", {ev['compacted']} lane(s) compacted"
+        return line
+    if kind == "state":
+        line = f"state -> {ev.get('state')}"
+        if ev.get("attempt"):
+            line += f" (attempt {ev['attempt']})"
+        if ev.get("requeued"):
+            line += " [requeued after failure]"
+        return line
+    if kind == "checkpoint":
+        if ev.get("resumed_from") is not None:
+            return f"checkpoint resume from sweep {ev['resumed_from']}"
+        return (f"checkpoint @ sweep {ev.get('sweeps')} "
+                f"({ev.get('bytes', 0)} bytes, save #{ev.get('saves')})")
+    if kind == "end":
+        line = f"end: {ev.get('state', 'done')}"
+        if ev.get("error"):
+            line += f" ({ev['error']})"
+        return line
+    if kind == "gap":
+        return f"... {ev.get('missed')} event(s) dropped (ring overflow)"
+    return str({k: v for k, v in ev.items() if k not in ("seq", "t")})
+
+
+def _cmd_tail(args) -> int:
+    """Follow ``GET /jobs/<id>/events`` until the terminal event."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    url = f"{args.url}/jobs/{args.job_id}/events"
+    try:
+        resp = urllib.request.urlopen(
+            urllib.request.Request(url), timeout=args.timeout)
+    except urllib.error.HTTPError as e:
+        try:
+            doc = _json.loads(e.read() or b"{}")
+        except ValueError:
+            doc = {}
+        print(f"tail failed ({e.code}): {doc.get('error')}")
+        return 2
+    state = None
+    with resp:
+        for raw in resp:
+            line = raw.decode("utf-8", "replace").strip()
+            if not line:
+                continue
+            try:
+                ev = _json.loads(line)
+            except ValueError:
+                continue
+            print(line if args.raw else _format_event(ev), flush=True)
+            if ev.get("kind") == "end":
+                state = ev.get("state", "done")
+    return 0 if state in (None, "done") else 2
+
+
+def _telemetry_value(snapshot: dict, name: str, labels=None):
+    """One series value out of a ``/metrics?format=json`` telemetry
+    snapshot (``None`` when the instrument or series is absent)."""
+    inst = snapshot.get(f"repro_{name}") or {}
+    for series in inst.get("series") or []:
+        if labels is None or series.get("labels") == labels:
+            return series.get("value", series.get("count"))
+    return None
+
+
+def _cmd_top(args) -> int:
+    """One-shot snapshot of a running service (queue, rates, jobs)."""
+    import json as _json
+
+    status, metrics = _http_json("GET", f"{args.url}/metrics?format=json")
+    if status != 200:
+        print(f"top failed ({status}): {metrics.get('error')}")
+        return 2
+    _, jobs_doc = _http_json("GET", f"{args.url}/jobs")
+    jobs = jobs_doc.get("jobs") or []
+    if args.json:
+        print(_json.dumps({"metrics": metrics, "jobs": jobs},
+                          indent=2, sort_keys=True))
+        return 0
+    sched = metrics.get("scheduler") or {}
+    states = sched.get("states") or {}
+    tele = metrics.get("telemetry") or {}
+    print(f"repro top -- {args.url}")
+    print(f"workers {sched.get('workers')} ({sched.get('mode')}), "
+          f"queue {states.get('queued', 0)} queued / "
+          f"{states.get('running', 0)} running / "
+          f"{states.get('done', 0)} done / {states.get('failed', 0)} failed"
+          + (" [draining]" if sched.get("draining") else ""))
+    sweeps = _telemetry_value(tele, "solver_sweeps_per_second")
+    mlups = _telemetry_value(tele, "solver_mlups")
+    if sweeps is not None or mlups is not None:
+        print(f"last solve: {sweeps or 0:.1f} sweeps/s, "
+              f"{mlups or 0:.2f} MLUP/s")
+    reg = metrics.get("registry") or {}
+    lookups = reg.get("hits", 0) + reg.get("misses", 0)
+    ratio = reg.get("hits", 0) / lookups if lookups else 0.0
+    print(f"plan registry: {reg.get('hits', 0)} hits / "
+          f"{reg.get('misses', 0)} misses ({100 * ratio:.0f}% hit rate); "
+          f"store {metrics.get('store', {}).get('entries', 0)} result(s)")
+    events = _telemetry_value(tele, "progress_events_total")
+    if events is not None:
+        print(f"progress events published: {events:.0f}")
+    if jobs:
+        print(f"{'job':<26} {'state':>9} {'attempts':>8}  trace")
+        for j in jobs[-10:]:
+            print(f"{j['id'][:24]:<26} {j['state']:>9} "
+                  f"{j['attempts']:>8}  {j.get('trace_id', '-')}")
+    return 0
+
+
 def _patched_env(**updates):
     """Context manager: set/unset env vars (None = unset), restoring on
     exit -- the chaos scenarios must not leak schedules into the shell."""
@@ -933,7 +1080,7 @@ def _patched_env(**updates):
     return _cm()
 
 
-def _chaos_crash_resume(seed: int, grid: int) -> bool:
+def _chaos_crash_resume(seed: int, grid: int):
     """Kill a forked worker at a seeded sweep; prove the retry resumes
     from the checkpoint and lands on a bit-identical result."""
     import tempfile
@@ -965,20 +1112,24 @@ def _chaos_crash_resume(seed: int, grid: int) -> bool:
         finally:
             sched.stop()
     crashed = sched.n_crashes
+    detail = {"seed": seed, "schedule": plan.env_value(), "crashes": crashed,
+              "attempts": job.attempts, "resumed_from": job.resumed_from,
+              "state": job.state}
     print(f"  worker crashes: {crashed}, attempts: {job.attempts}, "
           f"resumed from sweep: {job.resumed_from}")
     if job.state != JobState.DONE:
         print(f"  job ended {job.state}: {job.error}")
-        return False
+        return False, dict(detail, error=job.error)
     if job.result != clean:
         print("  MISMATCH: resumed result differs from the clean run")
-        return False
+        return False, dict(detail, bit_identical=False)
     print("  resumed result is bit-identical to the uninterrupted run "
           f"(checksum {clean['checksum'][:16]}...)")
-    return crashed >= 1
+    return crashed >= 1, dict(detail, bit_identical=True,
+                              checksum=clean["checksum"])
 
 
-def _chaos_batch_resume(seed: int, grid: int) -> bool:
+def _chaos_batch_resume(seed: int, grid: int):
     """Kill a forked worker mid-way through a batched campaign job; prove
     the retry resumes the whole batch (per-point convergence state
     included) from its checkpoint and every per-point result fans out
@@ -1013,25 +1164,30 @@ def _chaos_batch_resume(seed: int, grid: int) -> bool:
         finally:
             sched.stop()
     crashed = sched.n_crashes
+    detail = {"seed": seed, "schedule": plan.env_value(), "crashes": crashed,
+              "attempts": job.attempts, "resumed_from": job.resumed_from,
+              "state": job.state}
     print(f"  worker crashes: {crashed}, attempts: {job.attempts}, "
           f"resumed from sweep: {job.resumed_from}")
     if job.state != JobState.DONE:
         print(f"  job ended {job.state}: {job.error}")
-        return False
+        return False, dict(detail, error=job.error)
     if job.result != clean:
         print("  MISMATCH: resumed batch result differs from the clean run")
-        return False
+        return False, dict(detail, bit_identical=False)
     for point in job.result["points"]:
         if sched.store.get(point["id"]) != point["result"]:
             print(f"  MISMATCH: fanned-out point {point['wavelength']} "
                   f"differs from the batch result")
-            return False
+            return False, dict(detail, bit_identical=False,
+                               bad_point=point["wavelength"])
     print(f"  all {len(job.result['points'])} per-point results fanned out "
           "bit-identically after the resume")
-    return crashed >= 1
+    return crashed >= 1, dict(detail, bit_identical=True,
+                              points=len(job.result["points"]))
 
 
-def _chaos_corrupt(which: str) -> bool:
+def _chaos_corrupt(which: str):
     """Scribble over a persisted artifact; prove it quarantines to
     ``*.corrupt`` and the recomputed result is identical."""
     import glob
@@ -1060,20 +1216,24 @@ def _chaos_corrupt(which: str) -> bool:
             fresh = ResultStore(root)
             if fresh.get(spec.job_id) is not None:
                 print("  corrupt entry was served instead of quarantined")
-                return False
+                return False, {"which": which, "quarantined": False,
+                               "served_corrupt": True}
             again = run_job(spec)
+    detail = {"which": which, "artifact": os.path.basename(path)}
     if not os.path.exists(path + ".corrupt"):
         print(f"  {os.path.basename(path)} was not quarantined")
-        return False
+        return False, dict(detail, quarantined=False)
     if first != again:
         print("  MISMATCH: recomputed result differs")
-        return False
+        return False, dict(detail, quarantined=True, bit_identical=False)
     print(f"  {os.path.basename(path)} quarantined -> *.corrupt; "
           f"recomputed result identical")
-    return True
+    return True, dict(detail, quarantined=True, bit_identical=True)
 
 
 def _cmd_chaos(args) -> int:
+    import json
+
     from .resilience import faults
 
     if args.list_sites:
@@ -1090,10 +1250,16 @@ def _cmd_chaos(args) -> int:
     failed = []
     for name in names:
         print(f"chaos: {name}")
-        ok = scenarios[name]()
+        ok, detail = scenarios[name]()
         print(f"  {'PASS' if ok else 'FAIL'}")
+        # One machine-readable summary line per scenario (CI greps these).
+        print("CHAOS " + json.dumps(
+            dict({"scenario": name, "ok": ok}, **detail), sort_keys=True))
         if not ok:
             failed.append(name)
+    print("CHAOS-SUMMARY " + json.dumps(
+        {"scenarios": len(names), "failed": failed, "ok": not failed},
+        sort_keys=True))
     if failed:
         print(f"chaos: {len(failed)}/{len(names)} scenario(s) failed: "
               f"{', '.join(failed)}")
@@ -1137,6 +1303,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "campaign": _cmd_campaign,
+        "tail": _cmd_tail,
+        "top": _cmd_top,
         "chaos": _cmd_chaos,
         "env": _cmd_env,
     }

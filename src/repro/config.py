@@ -35,6 +35,7 @@ __all__ = [
     "registry_dir",
     "result_dir",
     "stream_engine",
+    "telemetry_mode",
     "trace_path",
     "tune_cache_dir",
     "tune_workers",
@@ -110,6 +111,11 @@ FLAGS: Dict[str, Flag] = {
         Flag(
             "REPRO_QUEUE_FILE", "(disabled)", "path",
             "spool file persisting queued jobs across graceful restarts",
+        ),
+        Flag(
+            "REPRO_TELEMETRY", "(auto)", "bool",
+            "metrics + progress events: 1 forces on, 0 vetoes even the "
+            "serving stack, unset = on while serving only",
         ),
     )
 }
@@ -204,3 +210,12 @@ def drain_timeout() -> float:
 def queue_file() -> Optional[str]:
     """Queue spool path for graceful restarts, or ``None`` (disabled)."""
     return os.environ.get("REPRO_QUEUE_FILE") or None
+
+
+def telemetry_mode() -> Optional[bool]:
+    """``REPRO_TELEMETRY`` tri-state: True (on), False (vetoed), or
+    ``None`` when unset (the serving stack decides)."""
+    raw = os.environ.get("REPRO_TELEMETRY")
+    if raw is None:
+        return None
+    return bool(raw) and raw.lower() not in ("0", "off", "false", "no")

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..fdfd.observables import relative_change
 from ..fdfd.thiim import (
     BatchedTHIIMSolver,
@@ -113,6 +114,8 @@ class TiledTHIIM:
             self.steps_done += self.chunk
             res = relative_change(self.solver.fields, previous) / self.chunk
             history.append(res)
+            telemetry.publish("progress", sweeps=steps, residual=float(res),
+                              tiled=True)
             reason = divergence_reason(res, history)
             if reason is not None:
                 if on_divergence == "raise":

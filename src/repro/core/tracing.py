@@ -114,6 +114,10 @@ class TraceRecorder:
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self._wall0 = time.perf_counter()
+        #: Unix time of recorder start -- what lets a forked child's
+        #: events (relative to *its* start) be re-based onto this
+        #: recorder's timeline in :meth:`merge_child`.
+        self.epoch = time.time()
         self._events: List[dict] = []
         self._meta: List[dict] = []
         self._next_pid = WALL_PID + 1
@@ -167,6 +171,49 @@ class TraceRecorder:
         self._events.append({"type": "counter", "name": name,
                              "ts_us": self.now_us() if ts_us is None else ts_us,
                              "pid": pid, "values": dict(values)})
+
+    # -- cross-process merge ---------------------------------------------------
+
+    def export(self) -> dict:
+        """Everything a parent needs to merge this recorder's events:
+        the epoch plus raw meta/event lists (forked workers ship this
+        through their spool file, like ``SubstrateCounters`` snapshots)."""
+        return {"epoch": self.epoch, "meta": list(self._meta),
+                "events": list(self._events)}
+
+    def merge_child(self, payload: dict, label: str = "forked worker") -> int:
+        """Fold an :meth:`export` payload from a child process into this
+        recorder.  Child timestamps are re-based via the epoch delta and
+        every child pid is remapped to a fresh process here (the child's
+        wall-clock process is renamed ``label``), so the merged Chrome
+        trace shows the worker's spans on their own lane with correct
+        absolute placement.  Returns the pid the child's wall clock got.
+        """
+        offset_us = (float(payload.get("epoch", self.epoch)) - self.epoch) * 1e6
+        names = {m["pid"]: m["name"]
+                 for m in payload.get("meta") or []
+                 if m.get("kind") == "process_name"}
+        pid_map: Dict[int, int] = {}
+
+        def mapped(pid: int) -> int:
+            new = pid_map.get(pid)
+            if new is None:
+                name = label if pid == WALL_PID else (
+                    names.get(pid) or f"{label} pid {pid}")
+                new = pid_map[pid] = self.new_process(name)
+            return new
+
+        wall_pid = mapped(WALL_PID)
+        for m in payload.get("meta") or []:
+            if m.get("kind") == "thread_name":
+                self._set_name("thread_name", mapped(m["pid"]),
+                               m["tid"], m["name"])
+        for ev in payload.get("events") or []:
+            ev = dict(ev)
+            ev["pid"] = mapped(ev.get("pid", WALL_PID))
+            ev["ts_us"] = float(ev.get("ts_us", 0.0)) + offset_us
+            self._events.append(ev)
+        return wall_pid
 
     # -- readout ---------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..resilience import faults
 from ..resilience.errors import SolverDiverged
 from .coefficients import BatchedCoefficientSet, CoefficientSet, build_coefficients
@@ -217,6 +218,7 @@ class THIIMSolver:
             steps += n
             res = relative_change(self.fields, previous) / n
             history.append(res)
+            telemetry.publish("progress", sweeps=steps, residual=float(res))
             if callback is not None:
                 callback(steps, res)
             reason = divergence_reason(res, history)
@@ -440,8 +442,10 @@ def run_batched_loop(
         advance(n)
         steps += n
         finished: List[int] = []
+        lane_res: Dict[str, float] = {}
         for pos, idx in enumerate(active):
             res = relative_change(fields.lane(pos), previous.lane(pos)) / n
+            lane_res[str(idx)] = float(res)
             histories[idx].append(res)
             reason = divergence_reason(res, histories[idx])
             if reason is not None:
@@ -455,6 +459,16 @@ def run_batched_loop(
                     fields.extract(pos), steps, res, True, list(histories[idx])
                 )
                 finished.append(pos)
+        if telemetry.enabled():
+            # One event per convergence check: every active lane's
+            # residual plus which lanes just froze/compacted away.
+            remaining = len(active) - len(finished)
+            telemetry.publish("batch", sweeps=steps, residuals=lane_res,
+                              active=remaining, frozen=width - remaining,
+                              compacted=len(finished))
+            telemetry.batch_occupancy().set(remaining)
+            if finished:
+                telemetry.lanes_compacted().inc(len(finished))
         if finished:
             drop = set(finished)
             keep = [p for p in range(len(active)) if p not in drop]

@@ -177,6 +177,7 @@ class CheckpointManager:
              extras: Optional[Dict[str, int]] = None) -> Optional[str]:
         """Snapshot the loop state; best-effort (an unwritable checkpoint
         degrades the resilience, never the solve)."""
+        from .. import telemetry
         from ..core import tracing
 
         try:
@@ -188,7 +189,8 @@ class CheckpointManager:
                 "name": self.name, "extras": extras or {}}
         try:
             with tracing.span(f"checkpoint {self.name[:12]}@{steps}",
-                              "resilience", args={"steps": steps}) as sp:
+                              "resilience",
+                              args=telemetry.span_args({"steps": steps})) as sp:
                 buf = _stdio.BytesIO()
                 np.savez(
                     buf,
@@ -211,6 +213,10 @@ class CheckpointManager:
         self.saves += 1
         self.last_saved_steps = steps
         RESILIENCE_COUNTERS.bump("checkpoints_written")
+        if telemetry.enabled():
+            telemetry.checkpoint_writes().inc()
+            telemetry.publish("checkpoint", sweeps=steps, saves=self.saves,
+                              bytes=len(data))
         self._publish()
         return self.path
 
@@ -256,6 +262,7 @@ class CheckpointManager:
     def resume(self, fields) -> Optional[Checkpoint]:
         """Restore a snapshot into ``fields`` in place; returns it (or
         ``None`` to start from sweep 0)."""
+        from .. import telemetry
         from ..core import tracing
 
         ckpt = self.load()
@@ -270,10 +277,14 @@ class CheckpointManager:
             fields[name] = ckpt.arrays[name]
         self.resumed_from = ckpt.steps
         RESILIENCE_COUNTERS.bump("checkpoints_resumed")
+        if telemetry.enabled():
+            telemetry.checkpoint_resumes().inc()
+            telemetry.publish("checkpoint", resumed_from=ckpt.steps)
         rec = tracing.active()
         if rec is not None:
             rec.instant("checkpoint.resume", "resilience",
-                        args={"name": self.name[:12], "steps": ckpt.steps})
+                        args=telemetry.span_args(
+                            {"name": self.name[:12], "steps": ckpt.steps}))
         self._publish()
         return ckpt
 

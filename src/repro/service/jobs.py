@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from .. import telemetry
 from ..core import tracing
 from ..resilience import faults
 
@@ -208,6 +209,15 @@ class Job:
     resumed_from: Optional[int] = None
     #: Last checkpoint report: ``{"path", "saves", "resumed_from"}``.
     checkpoint: Optional[Dict[str, Any]] = None
+    #: Trace id threaded through every span/event of this job's life
+    #: (submit -> queue -> tune -> sweep -> checkpoint -> store), across
+    #: thread and forked-process workers alike.
+    trace_id: str = field(default_factory=telemetry.new_trace_id)
+    #: When the job last entered the queue: monotonic clock (queue-wait
+    #: histogram) and trace timestamp (the ``queued`` span); reset on
+    #: every dispatch so crash requeues measure each wait separately.
+    queued_mono: Optional[float] = None
+    queued_ts_us: Optional[float] = None
 
     #: Legal lifecycle transitions (RUNNING -> QUEUED is the crash requeue).
     _TRANSITIONS = {
@@ -249,6 +259,7 @@ class Job:
             "error_kind": self.error_kind,
             "resumed_from": self.resumed_from,
             "checkpoint": self.checkpoint,
+            "trace_id": self.trace_id,
             "spec": self.spec.to_dict(),
         }
         if include_result:
@@ -305,9 +316,13 @@ def _run_tune(spec: JobSpec, registry) -> Dict[str, Any]:
     m = machine_spec_for(spec)
     hit = False
     if registry is not None:
-        point, hit = registry.get_or_tune(
-            m, spec.grid, spec.threads, tg_size=spec.tg_size, variant=spec.variant
-        )
+        with tracing.span("tune", "service", args=telemetry.span_args(
+                {"grid": spec.grid, "variant": spec.variant})) as sp:
+            point, hit = registry.get_or_tune(
+                m, spec.grid, spec.threads, tg_size=spec.tg_size,
+                variant=spec.variant
+            )
+            sp.set(registry_hit=hit)
     elif spec.variant == "spatial":
         point = tune_spatial(m, spec.grid, spec.threads)
     elif spec.variant == "1wd":
@@ -329,10 +344,13 @@ def _resolve_plan(spec: JobSpec, registry) -> Dict[str, Any]:
     if spec.tuning == "spec" or registry is None:
         return {"tiled": True, "dw": spec.dw, "bz": spec.bz,
                 "source": "spec", "registry_hit": False}
-    point, hit = registry.get_or_tune(
-        machine_spec_for(spec), spec.grid, spec.threads,
-        tg_size=spec.tg_size, variant=spec.variant,
-    )
+    with tracing.span("tune", "service", args=telemetry.span_args(
+            {"grid": spec.grid, "variant": spec.variant})) as sp:
+        point, hit = registry.get_or_tune(
+            machine_spec_for(spec), spec.grid, spec.threads,
+            tg_size=spec.tg_size, variant=spec.variant,
+        )
+        sp.set(registry_hit=hit)
     if point is None:  # no feasible tuned plan: fall back to the spec's
         return {"tiled": True, "dw": spec.dw, "bz": spec.bz,
                 "source": "fallback", "registry_hit": hit}
@@ -401,6 +419,19 @@ def _point_doc(grid, omega: float, plan: Dict[str, Any], result,
     return out
 
 
+def _note_solve_rates(grid, sweeps: int, elapsed: float,
+                      lanes: int = 1) -> None:
+    """Reflect a finished solve into the sweeps/MLUP/s instruments
+    (single cheap gate; metrics never touch the solver state)."""
+    if not telemetry.enabled() or sweeps <= 0:
+        return
+    telemetry.sweeps_total().inc(sweeps * lanes)
+    if elapsed > 0:
+        cells = grid.nz * grid.ny * grid.nx
+        telemetry.sweep_rate().set(sweeps * lanes / elapsed)
+        telemetry.solve_rate().set(sweeps * lanes * cells / elapsed / 1e6)
+
+
 def _run_solve(spec: JobSpec, registry,
                checkpoint_dir: Optional[str] = None) -> Dict[str, Any]:
     import numpy as np
@@ -412,6 +443,7 @@ def _run_solve(spec: JobSpec, registry,
     omega = 2 * np.pi / spec.wavelength
     solver = THIIMSolver(grid, omega, scene=scene, source=source, pml=pml)
     plan = _resolve_plan(spec, registry)
+    t0 = time.perf_counter()
     if plan["tiled"]:
         driver = TiledTHIIM(solver, dw=plan["dw"], bz=plan["bz"])
         ckpt = _checkpoint_for(spec, solver, checkpoint_dir, chunk=driver.chunk)
@@ -421,6 +453,7 @@ def _run_solve(spec: JobSpec, registry,
         ckpt = _checkpoint_for(spec, solver, checkpoint_dir, check_every=20)
         result = solver.solve(tol=spec.tol, max_steps=spec.max_steps,
                               checkpoint=ckpt, on_divergence="raise")
+    _note_solve_rates(grid, result.iterations, time.perf_counter() - t0)
     if ckpt is not None:
         # The solve is complete; its result is about to be stored.  The
         # snapshot has served its purpose (a crash after this point
@@ -488,6 +521,7 @@ def _run_batch_solve(spec: JobSpec, registry, store=None,
         omegas = [2 * np.pi / wavelengths[i] for i in todo]
         batched = BatchedTHIIMSolver(grid, omegas, scene=scene,
                                      source=source, pml=pml)
+        t0 = time.perf_counter()
         if plan["tiled"]:
             driver = BatchedTiledTHIIM(batched, dw=plan["dw"], bz=plan["bz"])
             ckpt = _batch_checkpoint_for(spec, batched, checkpoint_dir,
@@ -499,6 +533,9 @@ def _run_batch_solve(spec: JobSpec, registry, store=None,
                                          check_every=20)
             batch_result = batched.solve(tol=spec.tol, max_steps=spec.max_steps,
                                          check_every=20, checkpoint=ckpt)
+        _note_solve_rates(
+            grid, sum(r.iterations for r in batch_result.results),
+            time.perf_counter() - t0)
         if ckpt is not None:
             ckpt.clear()
         for lane, i in enumerate(todo):
@@ -543,6 +580,7 @@ def run_job(
     in_child: bool = False,
     checkpoint_dir: Optional[str] = None,
     store=None,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute a spec and return its JSON-serializable result.
 
@@ -556,11 +594,22 @@ def run_job(
     ``store`` is only consulted by batch jobs: already-stored points are
     deduplicated away and freshly solved points are fanned back out
     under their per-point job ids.
+
+    ``trace_id`` scopes a telemetry :class:`~repro.telemetry.JobContext`
+    for the duration, so solver progress events and every nested span
+    carry the submitting job's trace id (progress/metrics stay off the
+    result dict -- bit-identity is untouched).
     """
     faults.set_attempt(attempt)
-    with tracing.span(
+    ctx = telemetry.JobContext(
+        job_id=spec.job_id,
+        trace_id=trace_id or telemetry.new_trace_id(),
+        attempt=attempt,
+    )
+    with telemetry.use(ctx), tracing.span(
         f"job {spec.job_id[:12]}", "service",
-        args={"kind": spec.kind, "attempt": attempt, "grid": spec.grid},
+        args=telemetry.span_args(
+            {"kind": spec.kind, "attempt": attempt, "grid": spec.grid}),
     ):
         faults.hit("job.run")
         _inject_fault(spec, attempt, in_child)

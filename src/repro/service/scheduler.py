@@ -40,10 +40,11 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..core import tracing
 from ..ioutil import atomic_write_json, read_json, read_json_checked
 from ..resilience import faults
-from ..resilience.checkpoint import take_report
+from ..resilience.checkpoint import latest_lag_s, take_report
 from ..resilience.errors import RESILIENCE_COUNTERS, ReproError, error_from_kind
 from .jobs import Job, JobSpec, JobState, run_job
 from .registry import PlanRegistry
@@ -69,7 +70,11 @@ class WorkerCrash(RuntimeError):
 
 def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
                  out_path: str, checkpoint_dir: Optional[str] = None,
-                 store_root: Optional[str] = None) -> None:
+                 store_root: Optional[str] = None,
+                 trace_id: Optional[str] = None,
+                 trace_active: bool = False,
+                 telemetry_on: bool = False,
+                 events_dir: Optional[str] = None) -> None:
     """Forked worker body: run the job, spool the outcome atomically.
 
     Exits 0 with an ``{"ok": ...}`` envelope for both success and
@@ -89,13 +94,26 @@ def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
     # The fork inherited the parent's counters; reset so the spooled
     # snapshot is this child's delta, merged back additively.
     RESILIENCE_COUNTERS.reset()
+    # Telemetry after a fork: the child publishes progress into its own
+    # (copy-on-write) hub, mirrored to the events dir so the parent's
+    # readers can tail a *live* forked solve; spans go into a private
+    # recorder whose export rides the spool file home (merged back like
+    # SubstrateCounters.merge()).
+    if telemetry_on:
+        telemetry.enable(force=True)
+        telemetry.PROGRESS.reset()
+        telemetry.PROGRESS.configure_sink(events_dir)
+        # Like the resilience counters: drop the inherited values so the
+        # spooled snapshot is this child's pure delta.
+        telemetry.METRICS.reset()
+    child_rec = tracing.start_trace(None) if trace_active else None
     spec = JobSpec.from_dict(spec_dict)
     registry = PlanRegistry(registry_root)
     store = ResultStore(store_root) if store_root else None
     try:
         result = run_job(spec, registry=registry, attempt=attempt,
                          in_child=True, checkpoint_dir=checkpoint_dir,
-                         store=store)
+                         store=store, trace_id=trace_id)
         payload = {"ok": True, "result": result}
     except BaseException as exc:  # noqa: BLE001 - the envelope is the report
         payload = {"ok": False, "error": f"{type(exc).__name__}: {exc}",
@@ -103,6 +121,11 @@ def _child_entry(spec_dict: dict, attempt: int, registry_root: Optional[str],
     payload["registry_counters"] = registry.counters()
     payload["checkpoint"] = take_report()
     payload["resilience_counters"] = RESILIENCE_COUNTERS.snapshot()
+    if child_rec is not None:
+        payload["trace"] = child_rec.export()
+    if telemetry_on:
+        payload["metrics"] = telemetry.METRICS.snapshot()
+        telemetry.PROGRESS.close_sink()
     atomic_write_json(out_path, payload)
     os._exit(0)
 
@@ -143,6 +166,8 @@ class Scheduler:
         self._stopping = False
         self._draining = False
         self._threads: List[threading.Thread] = []
+        self._events_dir: Optional[str] = None
+        self._collector = None
         # -- counters (all guarded by _cv) --
         self.n_submitted = 0
         self.n_dedup = 0
@@ -163,8 +188,16 @@ class Scheduler:
 
         if self._threads:
             return self
+        # Serving implies telemetry (REPRO_TELEMETRY=0 still vetoes).
+        telemetry.enable()
         if self.mode == "process" and self._spool_dir is None:
             self._spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        if self.mode == "process" and telemetry.enabled():
+            self._events_dir = os.path.join(self._spool_dir, "events")
+            os.makedirs(self._events_dir, exist_ok=True)
+            telemetry.PROGRESS.configure_tail(self._events_dir)
+        if telemetry.enabled():
+            self._register_metrics()
         if self.checkpoint_dir is None and config.checkpoint_every() > 0:
             self.checkpoint_dir = (
                 config.checkpoint_dir()
@@ -185,6 +218,74 @@ class Scheduler:
         for t in self._threads:
             t.join(timeout=timeout)
         self._threads = []
+        if self._collector is not None:
+            telemetry.METRICS.unregister_collector(self._collector)
+            self._collector = None
+
+    def _register_metrics(self) -> None:
+        """Reflect existing counter sources into gauges at scrape time.
+
+        The scheduler, registry, store, resilience layer and fault
+        injector already keep their own counters; rather than double-
+        counting on the hot path, a collector mirrors them into the
+        metrics registry whenever ``/metrics`` renders.
+        """
+        m = telemetry.METRICS
+        queue_depth = m.gauge(
+            "queue_depth", "Jobs waiting in the bounded priority queue")
+        running = m.gauge("jobs_running", "Jobs currently executing")
+        by_state = m.gauge("jobs_by_state",
+                           "Jobs known to the scheduler, by lifecycle state",
+                           labelnames=("state",))
+        workers_g = m.gauge("scheduler_workers",
+                            "Dispatcher threads in the worker pool")
+        hit_ratio = m.gauge(
+            "plan_registry_hit_ratio",
+            "Fraction of plan lookups served without re-tuning")
+        lookups = m.gauge("plan_registry_lookups",
+                          "Plan-registry lookup counters, by outcome",
+                          labelnames=("outcome",))
+        store_ops = m.gauge("result_store_ops",
+                            "Result-store counters, by operation",
+                            labelnames=("op",))
+        resilience_g = m.gauge("resilience_events",
+                               "Resilience-layer counter snapshot, by event",
+                               labelnames=("event",))
+        faults_g = m.gauge("faults_fired",
+                           "Injected faults that have fired so far")
+        ckpt_lag = m.gauge(
+            "checkpoint_lag_seconds",
+            "Age of the newest checkpoint snapshot (-1 when none exists)")
+        dropped = m.gauge(
+            "progress_events_dropped",
+            "Progress events evicted from full ring buffers (oldest first)")
+
+        def collect() -> None:
+            stats = self.stats()
+            states = stats["states"]
+            queue_depth.set(states.get(JobState.QUEUED, 0))
+            running.set(states.get(JobState.RUNNING, 0))
+            for state, n in states.items():
+                by_state.labels(state=state).set(n)
+            workers_g.set(self.workers)
+            reg = self.registry.counters()
+            total = reg.get("hits", 0) + reg.get("misses", 0)
+            hit_ratio.set(reg.get("hits", 0) / total if total else 0.0)
+            for outcome in ("hits", "misses", "stores"):
+                lookups.labels(outcome=outcome).set(reg.get(outcome, 0))
+            sto = self.store.counters()
+            for op in ("hits", "misses", "puts"):
+                store_ops.labels(op=op).set(sto.get(op, 0))
+            store_ops.labels(op="entries").set(sto.get("entries", 0))
+            for event, n in RESILIENCE_COUNTERS.snapshot().items():
+                resilience_g.labels(event=event).set(n)
+            faults_g.set(len(faults.fired_summary().get("fired") or []))
+            lag = latest_lag_s(self.checkpoint_dir)
+            ckpt_lag.set(-1.0 if lag is None else lag)
+            dropped.set(telemetry.PROGRESS.dropped_total())
+
+        self._collector = collect
+        m.register_collector(collect)
 
     # -- graceful shutdown -------------------------------------------------------
 
@@ -266,10 +367,14 @@ class Scheduler:
         """Queue a spec; dedups, serves from store, or rejects when full."""
         with self._cv:
             self.n_submitted += 1
+            if telemetry.enabled():
+                telemetry.jobs_submitted().inc()
             existing = self._jobs.get(spec.job_id)
             if existing is not None and existing.state != JobState.FAILED:
                 existing.dedup_count += 1
                 self.n_dedup += 1
+                if telemetry.enabled():
+                    telemetry.job_outcomes().labels(outcome="dedup").inc()
                 return existing
             cached = self.store.get(spec.job_id)
             job = Job(spec)
@@ -281,12 +386,18 @@ class Scheduler:
                 self.n_store_hits += 1
                 self.n_completed += 1
                 self._register(job)
+                if telemetry.enabled():
+                    telemetry.job_outcomes().labels(outcome="store_hit").inc()
+                telemetry.publish_for(job.id, "end", state=JobState.DONE,
+                                      from_store=True)
                 return job
             queued = sum(
                 1 for j in self._jobs.values() if j.state == JobState.QUEUED
             )
             if queued >= self.queue_size:
                 self.n_rejected += 1
+                if telemetry.enabled():
+                    telemetry.job_outcomes().labels(outcome="rejected").inc()
                 reason = (
                     f"queue full ({queued}/{self.queue_size} jobs queued); "
                     f"retry after in-flight jobs drain"
@@ -298,8 +409,22 @@ class Scheduler:
                 raise QueueFullError(reason)
             self._register(job)
             self._push(job)
+            self._mark_queued(job)
+            # Job ids are content hashes, so a fresh submission of a spec
+            # an earlier scheduler ran still keys the old ring: reset it,
+            # or event streams would replay the previous run first.
+            telemetry.PROGRESS.forget(job.id)
+            telemetry.publish_for(job.id, "state", state=JobState.QUEUED,
+                                  trace_id=job.trace_id)
             self._cv.notify()
             return job
+
+    def _mark_queued(self, job: Job) -> None:
+        """Remember when a job entered the queue, for the queue-wait
+        histogram and the ``queued`` span in the merged trace."""
+        job.queued_mono = time.monotonic()
+        rec = tracing.active()
+        job.queued_ts_us = rec.now_us() if rec is not None else None
 
     def _register(self, job: Job) -> None:
         if job.id not in self._jobs:  # a FAILED job may be resubmitted
@@ -403,30 +528,55 @@ class Scheduler:
                 job.attempts += 1
                 attempt = job.attempts
                 self.n_executed += 1
+                queued_mono, queued_ts = job.queued_mono, job.queued_ts_us
+                job.queued_mono = job.queued_ts_us = None
+            if telemetry.enabled() and queued_mono is not None:
+                telemetry.queue_wait().observe(
+                    time.monotonic() - queued_mono)
+            rec = tracing.active()
+            if rec is not None and queued_ts is not None:
+                # Retroactive span covering the time spent queued, so
+                # the merged trace shows submit -> queue -> attempt.
+                rec.complete(f"queued {job.id[:12]}", "service", queued_ts,
+                             rec.now_us() - queued_ts,
+                             args={"trace": job.trace_id,
+                                   "attempt": attempt})
+            telemetry.publish_for(job.id, "state", state=JobState.RUNNING,
+                                  attempt=attempt)
             self._run_attempt(job, attempt)
 
     def _run_attempt(self, job: Job, attempt: int) -> None:
         report: Optional[dict] = None
+        t0 = time.perf_counter()
         try:
             with tracing.span(
                 f"attempt {job.id[:12]}#{attempt}", "service",
-                args={"kind": job.spec.kind, "mode": self.mode},
+                args={"kind": job.spec.kind, "mode": self.mode,
+                      "trace": job.trace_id},
             ):
                 if self.mode == "process":
-                    result, report = self._execute_in_child(job.spec, attempt)
+                    result, report = self._execute_in_child(
+                        job.spec, attempt, trace_id=job.trace_id)
                 else:
                     try:
                         result = run_job(job.spec, registry=self.registry,
                                          attempt=attempt,
                                          checkpoint_dir=self.checkpoint_dir,
-                                         store=self.store)
+                                         store=self.store,
+                                         trace_id=job.trace_id)
                     finally:
                         report = take_report()
         except Exception as exc:  # noqa: BLE001 - converted to job outcome
+            if telemetry.enabled():
+                telemetry.solve_latency().labels(kind=job.spec.kind).observe(
+                    time.perf_counter() - t0)
             self._note_checkpoint(
                 job, report or getattr(exc, "checkpoint_report", None))
             self._on_failure(job, attempt, exc)
             return
+        if telemetry.enabled():
+            telemetry.solve_latency().labels(kind=job.spec.kind).observe(
+                time.perf_counter() - t0)
         if self.mode == "process" and result.get("kind") == "batch":
             # Replay the batch's per-point fan-out into this scheduler's
             # store: the child only shares root-backed stores, so this is
@@ -435,13 +585,23 @@ class Scheduler:
             for point in result.get("points") or []:
                 if not point.get("from_store") and point.get("result"):
                     self.store.put(point["id"], point["result"])
-        self.store.put(job.id, result)
+        with tracing.span(f"store {job.id[:12]}", "service",
+                          args={"trace": job.trace_id}):
+            self.store.put(job.id, result)
         with self._cv:
             job.result = result
             job.transition(JobState.DONE)
             self.n_completed += 1
             self._note_checkpoint_locked(job, report)
             self._cv.notify_all()
+        if telemetry.enabled():
+            telemetry.job_outcomes().labels(outcome="done").inc()
+            # Pull any events a forked worker wrote before the terminal
+            # event, so readers that stop on "end" see the whole stream.
+            telemetry.PROGRESS.sync_job(job.id)
+        telemetry.publish_for(job.id, "end", state=JobState.DONE,
+                              attempts=attempt,
+                              resumed_from=job.resumed_from)
 
     def _note_checkpoint(self, job: Job, report: Optional[dict]) -> None:
         with self._cv:
@@ -457,18 +617,21 @@ class Scheduler:
             job.resumed_from = report["resumed_from"]
             self.n_resumed += 1
 
-    def _execute_in_child(self, spec: JobSpec, attempt: int):
+    def _execute_in_child(self, spec: JobSpec, attempt: int,
+                          trace_id: Optional[str] = None):
         import multiprocessing as mp
 
         assert self._spool_dir is not None
         out_path = os.path.join(
             self._spool_dir, f"{spec.job_id}.{attempt}.{os.getpid()}.json"
         )
+        rec = tracing.active()
         ctx = mp.get_context("fork")
         proc = ctx.Process(
             target=_child_entry,
             args=(spec.to_dict(), attempt, self.registry.root, out_path,
-                  self.checkpoint_dir, self.store.root),
+                  self.checkpoint_dir, self.store.root, trace_id,
+                  rec is not None, telemetry.enabled(), self._events_dir),
         )
         proc.start()
         proc.join(timeout=spec.timeout_s)
@@ -487,6 +650,14 @@ class Scheduler:
             )
         self.registry.merge_counters(payload.get("registry_counters") or {})
         RESILIENCE_COUNTERS.merge(payload.get("resilience_counters") or {})
+        if telemetry.enabled() and payload.get("metrics"):
+            telemetry.METRICS.merge_snapshot(payload["metrics"])
+        if rec is not None and payload.get("trace"):
+            # Fold the worker's private recorder into this one: the
+            # merged Chrome trace shows the forked solve on its own
+            # process lane, re-based onto the parent timeline.
+            rec.merge_child(payload["trace"],
+                            label=f"worker {spec.job_id[:12]}#{attempt}")
         report = payload.get("checkpoint")
         if not payload.get("ok"):
             # Rehydrate the typed error so retryability survives the
@@ -524,6 +695,7 @@ class Scheduler:
                 job.error = f"attempt {attempt}: {exc}"
                 job.transition(JobState.QUEUED)
                 self._push(job)
+                self._mark_queued(job)
                 self._cv.notify()
             else:
                 if isinstance(exc, ReproError) and not exc.retryable:
@@ -534,3 +706,13 @@ class Scheduler:
                 job.transition(JobState.FAILED)
                 self.n_failed += 1
                 self._cv.notify_all()
+        if retryable:
+            telemetry.publish_for(job.id, "state", state=JobState.QUEUED,
+                                  requeued=True, attempt=attempt,
+                                  crashed=crashed, error=str(exc))
+        else:
+            if telemetry.enabled():
+                telemetry.job_outcomes().labels(outcome="failed").inc()
+                telemetry.PROGRESS.sync_job(job.id)
+            telemetry.publish_for(job.id, "end", state=JobState.FAILED,
+                                  attempts=attempt, error=job.error)

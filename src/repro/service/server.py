@@ -3,23 +3,27 @@
 A ``ThreadingHTTPServer`` JSON API over a :class:`~repro.service.
 scheduler.Scheduler` -- no dependencies beyond the standard library:
 
-========  ====================  =========================================
-Method    Path                  Meaning
-========  ====================  =========================================
-POST      ``/jobs``             submit a JobSpec (JSON body); 202 with
-                                the job record, 400 on an invalid spec,
-                                503 + reason under backpressure
-GET       ``/jobs``             list submitted jobs (summaries)
-GET       ``/jobs/<id>``        one job, including its result when done
-DELETE    ``/jobs/<id>``        cancel a queued job (409 if not queued)
-GET       ``/metrics``          scheduler + registry + store + substrate
-                                + resilience counters (the observability
-                                rollup)
-GET       ``/registry``         persistent plan-registry listing
-GET       ``/healthz``          liveness probe: ``ok``, ``draining``,
-                                ``queue_depth``, ``running``,
-                                ``checkpoint_lag_s``
-========  ====================  =========================================
+========  ======================  =========================================
+Method    Path                    Meaning
+========  ======================  =========================================
+POST      ``/jobs``               submit a JobSpec (JSON body); 202 with
+                                  the job record, 400 on an invalid spec,
+                                  503 + reason under backpressure
+GET       ``/jobs``               list submitted jobs (summaries)
+GET       ``/jobs/<id>``          one job, including its result when done
+GET       ``/jobs/<id>/events``   live progress stream: one JSON event per
+                                  line, chunked transfer, ends on the
+                                  job's terminal event (``repro tail``)
+DELETE    ``/jobs/<id>``          cancel a queued job (409 if not queued)
+GET       ``/metrics``            Prometheus text exposition (format
+                                  0.0.4) of the telemetry registry;
+                                  ``?format=json`` returns the legacy
+                                  JSON rollup plus a telemetry snapshot
+GET       ``/registry``           persistent plan-registry listing
+GET       ``/healthz``            liveness probe: ``ok``, ``draining``,
+                                  ``queue_depth``, ``running``,
+                                  ``checkpoint_lag_s``
+========  ======================  =========================================
 
 Typed failures (:class:`~repro.resilience.errors.ReproError`) escaping a
 handler map to their ``http_status`` with the error's JSON ``payload()``
@@ -35,9 +39,12 @@ caller drives ``serve_forever``.
 from __future__ import annotations
 
 import json
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from .. import telemetry
 from ..resilience import faults
 from ..resilience.checkpoint import latest_lag_s
 from ..resilience.errors import RESILIENCE_COUNTERS, ReproError
@@ -45,6 +52,10 @@ from .jobs import JobSpec
 from .scheduler import QueueFullError, Scheduler
 
 __all__ = ["ServiceServer", "make_server"]
+
+#: The event stream gives up after this long with no new events (the job
+#: is live but silent -- a solver between convergence checks).
+EVENTS_IDLE_TIMEOUT_S = 60.0
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -96,6 +107,16 @@ class _Handler(BaseHTTPRequestHandler):
             return parts[1]
         return None
 
+    def _events_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            return parts[1]
+        return None
+
+    def _query(self) -> dict:
+        return urllib.parse.parse_qs(
+            urllib.parse.urlsplit(self.path).query)
+
     def _guard(self, handler) -> None:
         """Run a route with the uniform failure mapping: any
         :class:`ReproError` becomes its ``http_status`` + ``payload()``
@@ -135,6 +156,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get(self) -> None:
         path = self.path.split("?")[0]
+        events_id = self._events_path_id()
+        if events_id is not None:
+            self._stream_events(events_id)
+            return
         job_id = self._job_path_id()
         if job_id is not None:
             job = self._sched.get(job_id)
@@ -149,18 +174,16 @@ class _Handler(BaseHTTPRequestHandler):
                          for j in self._sched.jobs()],
             })
         elif path == "/metrics":
-            from ..machine.counters import SUBSTRATE_COUNTERS
-
-            self._send(200, {
-                "scheduler": self._sched.stats(),
-                "registry": self._sched.registry.counters(),
-                "store": self._sched.store.counters(),
-                "substrate": SUBSTRATE_COUNTERS.snapshot(),
-                "resilience": {
-                    "counters": RESILIENCE_COUNTERS.snapshot(),
-                    "faults": faults.fired_summary(),
-                },
-            })
+            if (self._query().get("format") or [""])[0] == "json":
+                self._send(200, self._metrics_json())
+            else:
+                body = telemetry.METRICS.render().encode()
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 telemetry.PROMETHEUS_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
         elif path == "/registry":
             self._send(200, {"plans": self._sched.registry.entries()})
         elif path == "/healthz":
@@ -174,6 +197,87 @@ class _Handler(BaseHTTPRequestHandler):
             })
         else:
             self._send(404, {"error": f"no such endpoint: GET {path}"})
+
+    def _metrics_json(self) -> dict:
+        """The legacy JSON rollup (every subsystem's native counters)
+        plus a flat snapshot of the telemetry registry."""
+        from ..machine.counters import SUBSTRATE_COUNTERS
+
+        return {
+            "scheduler": self._sched.stats(),
+            "registry": self._sched.registry.counters(),
+            "store": self._sched.store.counters(),
+            "substrate": SUBSTRATE_COUNTERS.snapshot(),
+            "resilience": {
+                "counters": RESILIENCE_COUNTERS.snapshot(),
+                "faults": faults.fired_summary(),
+            },
+            "telemetry": telemetry.METRICS.snapshot(),
+        }
+
+    # -- live progress streaming -----------------------------------------------
+
+    def _write_chunk(self, data: bytes) -> None:
+        """One HTTP/1.1 chunk (an empty chunk terminates the stream)."""
+        self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
+
+    def _write_event(self, event: dict) -> None:
+        self._write_chunk(json.dumps(event, sort_keys=True).encode() + b"\n")
+
+    def _stream_events(self, job_id: str) -> None:
+        """Chunked NDJSON stream of a job's progress events; follows the
+        ring (and any forked worker's event file) until the terminal
+        ``end`` event, then closes."""
+        if not telemetry.enabled():
+            self._send(503, {"error": "telemetry is disabled "
+                                      "(REPRO_TELEMETRY=0)"})
+            return
+        job = self._sched.get(job_id)
+        if job is None:
+            self._send(404, {"error": f"unknown job {job_id}"})
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        hub = telemetry.PROGRESS
+        cursor = -1
+        deadline = time.monotonic() + EVENTS_IDLE_TIMEOUT_S
+        try:
+            while True:
+                events, cursor, missed = hub.events_since(job_id, cursor)
+                if missed:
+                    self._write_event({"kind": "gap", "missed": missed})
+                ended = False
+                for ev in events:
+                    self._write_event(ev)
+                    ended = ended or ev.get("kind") == "end"
+                if ended:
+                    break
+                if events:
+                    deadline = time.monotonic() + EVENTS_IDLE_TIMEOUT_S
+                    continue
+                job = self._sched.get(job_id)
+                if job is not None and job.terminal:
+                    # Drain stragglers (a forked worker's last lines),
+                    # then synthesize the terminal event if none came.
+                    events, cursor, _ = hub.events_since(job_id, cursor)
+                    for ev in events:
+                        self._write_event(ev)
+                        ended = ended or ev.get("kind") == "end"
+                    if not ended:
+                        self._write_event({"kind": "end", "state": job.state,
+                                           "synthetic": True})
+                    break
+                if time.monotonic() > deadline:
+                    self._write_event({"kind": "timeout",
+                                       "idle_s": EVENTS_IDLE_TIMEOUT_S})
+                    break
+                time.sleep(0.05)
+            self._write_chunk(b"")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # reader went away; nothing to clean up
 
     def _delete(self) -> None:
         job_id = self._job_path_id()

@@ -146,17 +146,35 @@ class TestQueries:
         assert doc["running"] >= 0
         assert "checkpoint_lag_s" in doc
 
-    def test_metrics_rollup(self, service):
+    def test_metrics_json_rollup(self, service):
         base, _ = service
         _, doc = _request("POST", f"{base}/jobs", FAST_TUNE)
         _poll(base, doc["id"])
-        status, m = _request("GET", f"{base}/metrics")
+        status, m = _request("GET", f"{base}/metrics?format=json")
         assert status == 200
         assert m["scheduler"]["completed"] >= 1
         assert set(m) == {"scheduler", "registry", "store", "substrate",
-                          "resilience"}
+                          "resilience", "telemetry"}
         assert m["store"]["puts"] >= 1
         assert "states" in m["scheduler"]
+
+    def test_metrics_prometheus_text(self, service):
+        base, _ = service
+        _, doc = _request("POST", f"{base}/jobs", FAST_TUNE)
+        _poll(base, doc["id"])
+        req = urllib.request.Request(f"{base}/metrics")
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            assert resp.status == 200
+            ctype = resp.headers["Content-Type"]
+            text = resp.read().decode()
+        assert ctype.startswith("text/plain") and "version=0.0.4" in ctype
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+        # Every non-comment line is `name{labels} value`.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name and (value == "+Inf" or float(value) is not None)
 
     def test_registry_endpoint(self, service):
         base, _ = service
@@ -169,6 +187,45 @@ class TestQueries:
         assert status == 200
         assert len(reg["plans"]) == 1
         assert reg["plans"][0]["feasible"]
+
+
+class TestEventStream:
+    def _stream(self, base, job_id, timeout=60.0):
+        """Read the chunked NDJSON stream to completion."""
+        events = []
+        with urllib.request.urlopen(f"{base}/jobs/{job_id}/events",
+                                    timeout=timeout) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            for raw in resp:
+                line = raw.decode().strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+    def test_stream_follows_job_to_terminal_event(self, service):
+        base, _ = service
+        _, doc = _request("POST", f"{base}/jobs", FAST_SOLVE)
+        events = self._stream(base, doc["id"])
+        kinds = [e["kind"] for e in events]
+        assert kinds[-1] == "end"
+        assert "state" in kinds, f"no lifecycle events in {kinds}"
+        assert "progress" in kinds, f"no solver progress in {kinds}"
+        residuals = [e["residual"] for e in events if e["kind"] == "progress"]
+        assert residuals == sorted(residuals, reverse=True) or residuals
+
+    def test_stream_replays_after_completion(self, service):
+        base, _ = service
+        _, doc = _request("POST", f"{base}/jobs", FAST_SOLVE)
+        _poll(base, doc["id"])
+        events = self._stream(base, doc["id"])
+        assert events and events[-1]["kind"] == "end"
+
+    def test_stream_unknown_job_is_404(self, service):
+        base, _ = service
+        status, doc = _request(
+            "GET", f"{base}/jobs/ffffffffffffffffffffffff/events")
+        assert status == 404 and "unknown job" in doc["error"]
 
 
 class TestCancel:

@@ -1,0 +1,230 @@
+"""Unit tests of the telemetry metrics registry (Prometheus exposition)."""
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_and_get(self, reg):
+        c = reg.counter("widgets_total", "widgets made")
+        c.inc()
+        c.inc(2.5)
+        assert reg.get_value("widgets_total") == 3.5
+
+    def test_counters_only_go_up(self, reg):
+        c = reg.counter("widgets_total", "widgets made", labelnames=("l",))
+        with pytest.raises(ValueError):
+            c.labels("a").inc(-1)
+        with pytest.raises(TypeError):
+            c.labels("a").set(5)
+
+    def test_labelled_series_are_independent(self, reg):
+        c = reg.counter("outcomes_total", "by outcome", labelnames=("outcome",))
+        c.labels("done").inc(3)
+        c.labels(outcome="failed").inc()
+        assert reg.get_value("outcomes_total", ("done",)) == 3
+        assert reg.get_value("outcomes_total", ("failed",)) == 1
+
+    def test_wrong_label_arity_raises(self, reg):
+        c = reg.counter("outcomes_total", "by outcome", labelnames=("outcome",))
+        with pytest.raises(ValueError):
+            c.labels("a", "b")
+
+    def test_registration_is_idempotent_by_name(self, reg):
+        a = reg.counter("widgets_total", "widgets made")
+        b = reg.counter("widgets_total", "widgets made")
+        assert a is b
+
+    def test_kind_conflict_raises(self, reg):
+        reg.counter("widgets_total", "widgets made")
+        with pytest.raises(ValueError):
+            reg.gauge("widgets_total", "now a gauge?!")
+
+    def test_prefix_is_applied_once(self, reg):
+        c = reg.counter("repro_widgets_total", "already prefixed")
+        assert c.name == "repro_widgets_total"
+        assert reg.counter("widgets_total", "same one") is c
+
+
+class TestGauges:
+    def test_set_and_inc(self, reg):
+        g = reg.gauge("depth", "queue depth")
+        g.set(7)
+        g.inc(-2)
+        assert reg.get_value("depth") == 5
+
+    def test_gauges_cannot_observe(self, reg):
+        g = reg.gauge("depth", "queue depth", labelnames=("l",))
+        with pytest.raises(TypeError):
+            g.labels("a").observe(1.0)
+
+
+class TestHistogramBucketMath:
+    def test_observations_land_in_the_right_buckets(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 3.0, 10.0):
+            h.observe(v)
+        snap = reg.snapshot()["repro_lat"]["series"][0]
+        # Cumulative: le=1 counts 0.5 and the boundary value 1.0.
+        assert snap["buckets"] == {"1": 2, "2": 3, "5": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(16.0)
+
+    def test_boundary_value_is_le(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(1.0,))
+        h.observe(1.0)
+        snap = reg.snapshot()["repro_lat"]["series"][0]
+        assert snap["buckets"] == {"1": 1, "+Inf": 1}
+
+    def test_edges_are_sorted_and_unique(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(5.0, 1.0, 2.0))
+        assert h.edges == (1.0, 2.0, 5.0)
+        with pytest.raises(ValueError):
+            reg.histogram("lat2", "dupes", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("lat3", "empty", buckets=())
+
+    def test_default_buckets_cover_solve_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 300.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_labelled_histogram_children_get_buckets(self, reg):
+        h = reg.histogram("lat", "latency", labelnames=("kind",),
+                          buckets=(1.0, 2.0))
+        h.labels("solve").observe(1.5)
+        series = reg.snapshot()["repro_lat"]["series"]
+        assert series[0]["labels"] == {"kind": "solve"}
+        assert series[0]["buckets"] == {"1": 0, "2": 1, "+Inf": 1}
+
+
+class TestRender:
+    def test_text_format_headers_and_series(self, reg):
+        c = reg.counter("jobs_total", "jobs", labelnames=("state",))
+        c.labels("done").inc(2)
+        text = reg.render()
+        assert "# HELP repro_jobs_total jobs" in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert 'repro_jobs_total{state="done"} 2' in text
+        assert text.endswith("\n")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_histogram_renders_cumulative_buckets(self, reg):
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = reg.render()
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="2"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_sum 2" in text
+        assert "repro_lat_count 2" in text
+
+    def test_label_values_are_escaped(self, reg):
+        c = reg.counter("odd_total", "odd labels", labelnames=("path",))
+        c.labels('a"b\\c\nd').inc()
+        text = reg.render()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_infinite_gauge_renders_as_inf(self, reg):
+        g = reg.gauge("lag", "lag")
+        g.set(math.inf)
+        assert "repro_lag +Inf" in reg.render()
+
+
+class TestCollectors:
+    def test_collector_runs_at_render_time(self, reg):
+        g = reg.gauge("depth", "queue depth")
+        source = {"depth": 0}
+        reg.register_collector(lambda: g.set(source["depth"]))
+        source["depth"] = 9
+        assert "repro_depth 9" in reg.render()
+        source["depth"] = 4
+        assert reg.snapshot()["repro_depth"]["series"][0]["value"] == 4
+
+    def test_broken_collector_does_not_break_scrapes(self, reg):
+        reg.counter("ok_total", "fine").inc()
+
+        def boom():
+            raise RuntimeError("collector bug")
+
+        reg.register_collector(boom)
+        assert "repro_ok_total 1" in reg.render()
+
+    def test_unregister(self, reg):
+        g = reg.gauge("depth", "queue depth")
+        calls = []
+        fn = reg.register_collector(lambda: calls.append(g))
+        reg.render()
+        reg.unregister_collector(fn)
+        reg.render()
+        assert len(calls) == 1
+
+
+class TestMergeSnapshot:
+    """The forked-worker delta merge (child resets, parent adds)."""
+
+    def test_counters_add_and_gauges_adopt(self, reg):
+        child = MetricsRegistry()
+        reg.counter("sweeps_total", "sweeps").inc(10)
+        child.counter("sweeps_total", "sweeps").inc(7)
+        child.gauge("mlups", "rate").set(42.0)
+        reg.merge_snapshot(child.snapshot())
+        assert reg.get_value("sweeps_total") == 17
+        assert reg.get_value("mlups") == 42.0
+
+    def test_labelled_series_merge_by_label(self, reg):
+        child = MetricsRegistry()
+        c = child.counter("outcomes_total", "o", labelnames=("outcome",))
+        c.labels("done").inc(2)
+        reg.counter("outcomes_total", "o",
+                    labelnames=("outcome",)).labels("done").inc()
+        reg.merge_snapshot(child.snapshot())
+        assert reg.get_value("outcomes_total", ("done",)) == 3
+
+    def test_histogram_buckets_add(self, reg):
+        child = MetricsRegistry()
+        h = child.histogram("lat", "l", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        reg.histogram("lat", "l", buckets=(1.0, 2.0)).observe(1.5)
+        reg.merge_snapshot(child.snapshot())
+        snap = reg.snapshot()["repro_lat"]["series"][0]
+        assert snap["buckets"] == {"1": 1, "2": 2, "+Inf": 3}
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(7.0)
+
+    def test_merge_survives_json_round_trip(self, reg):
+        import json
+
+        child = MetricsRegistry()
+        child.counter("sweeps_total", "sweeps").inc(3)
+        child.histogram("lat", "l", buckets=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(child.snapshot()))
+        reg.merge_snapshot(snap)
+        assert reg.get_value("sweeps_total") == 3
+        assert reg.get_value("lat") == 1  # histogram count
+
+
+class TestInstrumentClasses:
+    def test_direct_construction(self):
+        c = Counter("raw_total", "unregistered")
+        c.inc(4)
+        h = Histogram("raw_lat", "unregistered", buckets=(1.0,))
+        h.observe(0.5)
+        assert c._default.value == 4
+        assert h._default.buckets == [1, 0]

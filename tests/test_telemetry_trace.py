@@ -1,0 +1,139 @@
+"""Job-scoped trace propagation: one trace id from submission through a
+forked worker's sweeps, merged back into a single Chrome trace."""
+
+import pytest
+
+from repro import telemetry
+from repro.core import tracing
+from repro.core.tracing import WALL_PID, TraceRecorder
+from repro.service import Scheduler
+from repro.service.jobs import JobSpec, JobState
+
+FAST_SOLVE = dict(kind="solve", preset="vacuum", grid=10, wavelength=10.0,
+                  tol=1e-4, max_steps=20)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_telemetry_state():
+    was_on = telemetry.enabled()
+    yield
+    if tracing.active() is not None:
+        tracing.stop_trace()
+    telemetry.enable(force=True) if was_on else telemetry.disable()
+    telemetry.set_current(None)
+
+
+class TestMergeChild:
+    def test_child_timestamps_rebase_on_epoch_delta(self):
+        parent = TraceRecorder()
+        child = TraceRecorder()
+        child.epoch = parent.epoch + 1.5  # child started 1.5 s later
+        child.complete("sweep", "solver", ts_us=100.0, dur_us=50.0)
+        parent.merge_child(child.export(), label="worker")
+        merged = [e for e in parent._events if e["name"] == "sweep"]
+        assert len(merged) == 1
+        assert merged[0]["ts_us"] == pytest.approx(100.0 + 1.5e6)
+        assert merged[0]["dur_us"] == 50.0
+
+    def test_child_pids_map_to_fresh_processes(self):
+        parent = TraceRecorder()
+        child = TraceRecorder()
+        sim = child.new_process("simulated threads")
+        child.complete("wall span", "c", 0.0, 1.0)  # pid WALL_PID
+        child.complete("sim span", "c", 0.0, 1.0, pid=sim)
+        wall = parent.merge_child(child.export(), label="worker #1")
+        pids = {e["name"]: e["pid"] for e in parent._events}
+        assert pids["wall span"] == wall and wall != WALL_PID
+        assert pids["sim span"] not in (WALL_PID, wall)
+        names = {m["pid"]: m["name"] for m in parent._meta
+                 if m["kind"] == "process_name"}
+        assert names[wall] == "worker #1"
+        assert names[pids["sim span"]] == "simulated threads"
+
+    def test_merge_preserves_span_args(self):
+        parent = TraceRecorder()
+        child = TraceRecorder()
+        child.complete("job abc", "service", 0.0, 1.0,
+                       args={"trace": "deadbeef"})
+        parent.merge_child(child.export())
+        [ev] = [e for e in parent._events if e["name"] == "job abc"]
+        assert ev["args"]["trace"] == "deadbeef"
+
+
+class TestJobContext:
+    def test_every_submitted_job_gets_a_trace_id(self):
+        a, b = JobSpec(**FAST_SOLVE), JobSpec(**dict(FAST_SOLVE, grid=12))
+        from repro.service.jobs import Job
+
+        ja, jb = Job(spec=a), Job(spec=b)
+        assert len(ja.trace_id) == 16 and ja.trace_id != jb.trace_id
+        assert ja.to_dict()["trace_id"] == ja.trace_id
+
+    def test_span_args_tags_the_current_trace(self):
+        telemetry.set_current(telemetry.JobContext(job_id="j",
+                                                   trace_id="cafe1234"))
+        try:
+            assert telemetry.span_args({"x": 1}) == {"x": 1,
+                                                     "trace": "cafe1234"}
+            assert telemetry.span_args(None) == {"trace": "cafe1234"}
+        finally:
+            telemetry.set_current(None)
+        assert telemetry.span_args({"x": 1}) == {"x": 1}
+
+
+class TestForkedWorkerPropagation:
+    """The acceptance path: an HTTP-shaped job through a forked process
+    worker lands every span -- parent and child -- under one trace id."""
+
+    @pytest.fixture
+    def traced_run(self):
+        telemetry.enable(force=True)
+        rec = tracing.start_trace(None)
+        sched = Scheduler(workers=1, mode="process").start()
+        try:
+            job = sched.submit(JobSpec(**FAST_SOLVE))
+            sched.wait(job.id, timeout=180.0)
+        finally:
+            sched.stop()
+            tracing.stop_trace()
+        assert job.state == JobState.DONE, job.error
+        return rec, job
+
+    def test_single_trace_id_spans_parent_and_worker(self, traced_run):
+        rec, job = traced_run
+        spans = [e for e in rec._events if e["type"] == "span"]
+        traced = [e for e in spans
+                  if (e.get("args") or {}).get("trace") == job.trace_id]
+        names = {e["name"] for e in traced}
+        # Parent-side lifecycle spans...
+        assert any(n.startswith("queued") for n in names)
+        assert any(n.startswith("attempt") for n in names)
+        # ...and the worker's job span, merged from the forked process.
+        assert any(n.startswith("job") for n in names)
+        pids = {e["pid"] for e in traced}
+        assert WALL_PID in pids, "parent spans missing"
+        assert any(p != WALL_PID for p in pids), (
+            "forked worker spans were not merged into the parent trace")
+        # No other trace id leaks into this job's span names.
+        foreign = [e for e in spans
+                   if e["name"] in names
+                   and (e.get("args") or {}).get("trace")
+                   not in (None, job.trace_id)]
+        assert not foreign
+
+    def test_worker_process_lane_is_labelled(self, traced_run):
+        rec, job = traced_run
+        labels = [m["name"] for m in rec._meta
+                  if m["kind"] == "process_name"]
+        assert any(l.startswith("worker") for l in labels)
+
+    def test_progress_events_crossed_the_fork(self, traced_run):
+        _, job = traced_run
+        events, _, _ = telemetry.PROGRESS.events_since(job.id)
+        kinds = [e["kind"] for e in events]
+        assert "progress" in kinds, f"no solver progress in {kinds}"
+        assert kinds[-1] == "end"
+        residuals = [e["residual"] for e in events
+                     if e["kind"] == "progress"]
+        assert residuals and all(r >= 0 for r in residuals)
+        telemetry.PROGRESS.forget(job.id)
