@@ -198,7 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the fault-injection harness (crash/resume, corruption)",
     )
     ch.add_argument("--scenario",
-                    choices=("crash-resume", "batch-resume",
+                    choices=("crash-resume", "batch-resume", "rank-crash",
                              "corrupt-registry", "corrupt-store", "all"),
                     default="all")
     ch.add_argument("--seed", type=int, default=0,
@@ -207,6 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="solve grid for the crash-resume scenario")
     ch.add_argument("--list-sites", action="store_true",
                     help="print the named injection sites and exit")
+
+    cl = sub.add_parser(
+        "cluster",
+        help="rank candidate process-grid decompositions (comm cost model)",
+    )
+    cl.add_argument("--grid", type=int, default=48,
+                    help="cells per axis (z gets 2x, same as solve jobs)")
+    cl.add_argument("--ranks", type=int, default=4,
+                    help="rank processes to factor into a PZxPYxPX grid")
+    cl.add_argument("--json", action="store_true",
+                    help="emit the ranked table as JSON instead of text")
 
     sb = sub.add_parser("submit", help="submit a job to a running service")
     sb.add_argument("--url", default="http://127.0.0.1:8642")
@@ -251,7 +262,12 @@ def _add_jobspec_args(sp: argparse.ArgumentParser, campaign: bool = False) -> No
     """Shared job-spec arguments of ``submit`` and ``campaign``."""
     from .fdfd.presets import PRESETS
 
-    sp.add_argument("--kind", choices=("solve", "tune"), default="solve")
+    sp.add_argument("--kind", choices=("solve", "tune", "distributed"),
+                    default="solve")
+    sp.add_argument("--ranks", default=None, metavar="N | PZxPYxPX",
+                    help="fan the solve across real rank processes "
+                         "(implies kind=distributed; a bare count lets "
+                         "the comm cost model pick the grid)")
     sp.add_argument("--preset", choices=PRESETS,
                     default="tandem" if campaign else "absorber")
     sp.add_argument("--grid", type=int, default=16 if campaign else 48)
@@ -609,7 +625,7 @@ def _cmd_trace(args) -> int:
 
 def _spec_from_args(args, wavelength=None, thickness=None) -> dict:
     """A JobSpec payload from submit/campaign arguments."""
-    return {
+    spec = {
         "kind": args.kind,
         "preset": args.preset,
         "grid": args.grid,
@@ -623,6 +639,15 @@ def _spec_from_args(args, wavelength=None, thickness=None) -> dict:
         "threads": args.threads,
         "tuning": args.tuning,
     }
+    ranks = getattr(args, "ranks", None)
+    if ranks:
+        # ``--ranks`` alone is the ergonomic path: promote a plain solve
+        # to a distributed job (which always runs the naive sweep).
+        if spec["kind"] == "solve":
+            spec["kind"] = "distributed"
+        spec["ranks"] = ranks
+        spec["tiled"] = False
+    return spec
 
 
 def _http_json(method: str, url: str, payload=None, timeout: float = 30.0):
@@ -790,6 +815,9 @@ def _parse_sweep_values(text: str, name: str) -> list:
 def _campaign_specs(args) -> list:
     wavelengths = _parse_sweep_values(args.wavelengths, "wavelength")
     thicknesses = _parse_sweep_values(args.thicknesses, "thickness")
+    if getattr(args, "ranks", None) and getattr(args, "batch", False):
+        raise SystemExit("--ranks cannot be combined with --batch "
+                         "(a distributed job owns its own process grid)")
     if getattr(args, "batch", False):
         # One batch job per thickness, all wavelengths in one sweep loop.
         return [
@@ -944,6 +972,24 @@ def _format_event(ev: dict) -> str:
         if ev.get("compacted"):
             line += f", {ev['compacted']} lane(s) compacted"
         return line
+    if kind == "cluster":
+        phase = ev.get("phase")
+        if phase == "start":
+            pz, py, px = ev.get("layout") or ("?", "?", "?")
+            line = (f"cluster start: {ev.get('ranks')} rank(s) as "
+                    f"{pz}x{py}x{px} over {ev.get('transport')}")
+            if ev.get("resumed_from") is not None:
+                line += f", resumed from sweep {ev['resumed_from']}"
+            return line
+        if phase == "rank-crash":
+            return f"cluster: a rank died ({ev.get('ranks')} rank(s))"
+        rank_res = ev.get("rank_residuals") or {}
+        worst = max(rank_res.values()) if rank_res else float("nan")
+        return (f"sweep {ev.get('sweeps'):>6}  residual "
+                f"{ev.get('residual'):.3e}  ({ev.get('ranks')} rank(s), "
+                f"worst rank {worst:.3e}, "
+                f"halo {ev.get('halo_bytes', 0)} B / "
+                f"{ev.get('halo_messages', 0)} msg)")
     if kind == "state":
         line = f"state -> {ev.get('state')}"
         if ev.get("attempt"):
@@ -1051,6 +1097,50 @@ def _cmd_top(args) -> int:
         for j in jobs[-10:]:
             print(f"{j['id'][:24]:<26} {j['state']:>9} "
                   f"{j['attempts']:>8}  {j.get('trace_id', '-')}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    """Rank every feasible process-grid decomposition of a solve-shaped
+    grid by the communication cost model (the table behind the model's
+    pick when ``--ranks`` is a bare count)."""
+    from .cluster import candidate_layouts, step_bytes_by_axis
+    from .fdfd import Grid
+
+    n = args.grid
+    # Same geometry as an untiled served solve (distributed jobs always
+    # run the naive sweep): z gets 2x and stays non-periodic.
+    grid = Grid(nz=2 * n, ny=n, nx=n, periodic=(False, True, True))
+    try:
+        ranked = candidate_layouts(grid, args.ranks)
+    except ValueError as e:
+        print(f"cluster: {e}")
+        return 2
+    rows = []
+    for cost, layout in ranked:
+        bba = step_bytes_by_axis(layout)
+        rows.append({
+            "layout": f"{layout.pz}x{layout.py}x{layout.px}",
+            "ranks": layout.n_ranks,
+            "step_cost_us": cost,
+            "bytes_z": bba[0], "bytes_y": bba[1], "bytes_x": bba[2],
+            "bytes_total": bba[0] + bba[1] + bba[2],
+        })
+    if args.json:
+        import json
+
+        print(json.dumps({"grid": list(grid.shape), "ranks": args.ranks,
+                          "candidates": rows}, indent=2, sort_keys=True))
+        return 0
+    print(f"cluster: grid={grid.shape} ranks={args.ranks} "
+          f"({len(rows)} feasible decomposition(s), halo bytes per sweep)")
+    print(f"{'layout':>8s} {'cost us':>9s} {'z bytes':>10s} "
+          f"{'y bytes':>10s} {'x bytes':>10s} {'total':>10s}")
+    for i, r in enumerate(rows):
+        mark = "  <- model pick" if i == 0 else ""
+        print(f"{r['layout']:>8s} {r['step_cost_us']:9.1f} "
+              f"{r['bytes_z']:>10d} {r['bytes_y']:>10d} "
+              f"{r['bytes_x']:>10d} {r['bytes_total']:>10d}{mark}")
     return 0
 
 
@@ -1187,6 +1277,67 @@ def _chaos_batch_resume(seed: int, grid: int):
                               points=len(job.result["points"]))
 
 
+def _chaos_rank_crash(seed: int, grid: int):
+    """Kill ONE rank process of a distributed solve at a seeded sweep
+    block; prove the scheduler retry restores every rank's slab from the
+    group checkpoint and lands on a result bit-identical to both the
+    uninterrupted distributed run and the single-domain solve."""
+    import tempfile
+
+    from .resilience import FaultPlan
+    from .service import Scheduler
+    from .service.jobs import JobSpec, JobState, run_job
+
+    # Unreachable tol again: deterministically 240 sweeps in 12 blocks.
+    spec = JobSpec(kind="distributed", preset="absorber", grid=grid,
+                   tol=1e-12, max_steps=240, max_retries=2, ranks="2x1x1",
+                   tiled=False)
+    target = seed % 2  # which of the two ranks the fault kills
+    neutral = dict(REPRO_FAULTS=None, REPRO_CHECKPOINT_EVERY=None,
+                   REPRO_CHECKPOINT_DIR=None)
+    with _patched_env(**neutral):
+        clean = run_job(spec)
+        scalar = run_job(spec.single_domain_spec())
+    if clean != scalar:
+        print("  MISMATCH: distributed result differs from the "
+              "single-domain solve before any fault was injected")
+        return False, {"seed": seed, "distributed_matches_scalar": False}
+
+    plan = FaultPlan.seeded(seed, f"cluster.rank.{target}", "crash",
+                            max_after=12)
+    ckpt_dir = tempfile.mkdtemp(prefix="repro-chaos-ckpt-")
+    print(f"  fault schedule: {plan.env_value()} (seed {seed}, "
+          f"kills rank {target})")
+    with _patched_env(REPRO_FAULTS=plan.env_value(),
+                      REPRO_CHECKPOINT_EVERY="40",
+                      REPRO_CHECKPOINT_DIR=None):
+        sched = Scheduler(workers=1, mode="process",
+                          checkpoint_dir=ckpt_dir).start()
+        try:
+            job = sched.submit(spec)
+            sched.wait(job.id, timeout=600.0)
+        finally:
+            sched.stop()
+    crashed = sched.n_crashes
+    detail = {"seed": seed, "schedule": plan.env_value(), "rank": target,
+              "crashes": crashed, "attempts": job.attempts,
+              "resumed_from": job.resumed_from, "state": job.state}
+    print(f"  rank crashes: {crashed}, attempts: {job.attempts}, "
+          f"resumed from sweep: {job.resumed_from}")
+    if job.state != JobState.DONE:
+        print(f"  job ended {job.state}: {job.error}")
+        return False, dict(detail, error=job.error)
+    if job.result != clean:
+        print("  MISMATCH: resumed result differs from the clean run")
+        return False, dict(detail, bit_identical=False)
+    print("  resumed result is bit-identical to the uninterrupted "
+          "distributed run AND the single-domain solve "
+          f"(checksum {clean['checksum'][:16]}...)")
+    return crashed >= 1, dict(detail, bit_identical=True,
+                              distributed_matches_scalar=True,
+                              checksum=clean["checksum"])
+
+
 def _chaos_corrupt(which: str):
     """Scribble over a persisted artifact; prove it quarantines to
     ``*.corrupt`` and the recomputed result is identical."""
@@ -1243,6 +1394,7 @@ def _cmd_chaos(args) -> int:
     scenarios = {
         "crash-resume": lambda: _chaos_crash_resume(args.seed, args.grid),
         "batch-resume": lambda: _chaos_batch_resume(args.seed, args.grid),
+        "rank-crash": lambda: _chaos_rank_crash(args.seed, args.grid),
         "corrupt-registry": lambda: _chaos_corrupt("registry"),
         "corrupt-store": lambda: _chaos_corrupt("store"),
     }
@@ -1306,6 +1458,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tail": _cmd_tail,
         "top": _cmd_top,
         "chaos": _cmd_chaos,
+        "cluster": _cmd_cluster,
         "env": _cmd_env,
     }
     trace_path = config.trace_path()

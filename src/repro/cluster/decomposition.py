@@ -23,7 +23,14 @@ from typing import Dict, Iterator, List, Tuple
 from ..fdfd.grid import Grid
 from ..fdfd.specs import BYTES_PER_NUMBER
 
-__all__ = ["RankLayout", "Subdomain", "CommCostModel", "choose_decomposition"]
+__all__ = [
+    "RankLayout",
+    "Subdomain",
+    "CommCostModel",
+    "candidate_layouts",
+    "choose_decomposition",
+    "step_bytes_by_axis",
+]
 
 Coord = Tuple[int, int, int]
 
@@ -182,21 +189,44 @@ class CommCostModel:
         return worst
 
 
-def choose_decomposition(
+def step_bytes_by_axis(layout: RankLayout, arrays: int = 6) -> Dict[int, int]:
+    """Halo bytes moved per full time step, summed over all ranks and
+    both half steps, keyed by axis.
+
+    Each half step fills one ghost plane per (rank, axis, direction)
+    pair that has a neighbour, moving ``face_cells * arrays`` complex
+    numbers into the receiver -- the same accounting
+    :class:`repro.cluster.distributed.CommStats` keeps, so measured and
+    modeled traffic can be compared exactly.
+    """
+    out = {0: 0, 1: 0, 2: 0}
+    for coord, sub in layout.subdomains().items():
+        for axis in range(3):
+            # +1 direction feeds the E-read (H half step), -1 the
+            # H-read (E half step): one exchange each per time step.
+            for direction in (-1, +1):
+                if layout.neighbor(coord, axis, direction) is not None:
+                    out[axis] += sub.face_cells(axis) * arrays * BYTES_PER_NUMBER
+    return out
+
+
+def candidate_layouts(
     grid: Grid,
     n_ranks: int,
     cost: CommCostModel | None = None,
-) -> RankLayout:
-    """Pick the (pz, py, px) factorization with the cheapest halo step.
+) -> List[Tuple[float, RankLayout]]:
+    """All feasible (pz, py, px) factorizations of ``n_ranks`` over
+    ``grid``, cheapest halo step first.
 
-    Reproduces the paper's guidance mechanically: the x axis is only
-    split as a last resort (strided halos), and thin dimensions end up
-    undivided.
+    Returns ``(step_cost_us, layout)`` pairs; ties break toward "avoid
+    x, then y" (strided halos), reproducing the paper's Section VI
+    guidance mechanically.  Raises when no factorization fits (some axis
+    would get fewer than 2 cells per rank).
     """
     if n_ranks < 1:
         raise ValueError("n_ranks must be >= 1")
     cost = cost or CommCostModel()
-    best: Tuple[Tuple[float, int, int], RankLayout] | None = None
+    ranked: List[Tuple[Tuple[float, int, int], RankLayout]] = []
     for pz in range(1, n_ranks + 1):
         if n_ranks % pz:
             continue
@@ -209,10 +239,23 @@ def choose_decomposition(
                 layout = RankLayout(grid, pz, py, px)
             except ValueError:
                 continue
-            # Tie-break cost with "avoid x, then y" (strided halos).
             key = (round(cost.step_cost_us(layout), 9), px, py)
-            if best is None or key < best[0]:
-                best = (key, layout)
-    if best is None:
+            ranked.append((key, layout))
+    if not ranked:
         raise ValueError(f"no feasible decomposition of {grid.shape} over {n_ranks} ranks")
-    return best[1]
+    ranked.sort(key=lambda pair: pair[0])
+    return [(key[0], layout) for key, layout in ranked]
+
+
+def choose_decomposition(
+    grid: Grid,
+    n_ranks: int,
+    cost: CommCostModel | None = None,
+) -> RankLayout:
+    """Pick the (pz, py, px) factorization with the cheapest halo step.
+
+    Reproduces the paper's guidance mechanically: the x axis is only
+    split as a last resort (strided halos), and thin dimensions end up
+    undivided.
+    """
+    return candidate_layouts(grid, n_ranks, cost)[0][1]

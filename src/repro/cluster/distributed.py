@@ -34,7 +34,7 @@ from ..fdfd.specs import (
 )
 from .decomposition import Coord, RankLayout, Subdomain
 
-__all__ = ["CommStats", "DistributedTHIIM"]
+__all__ = ["CommStats", "DistributedTHIIM", "component_region"]
 
 
 @dataclass
@@ -46,9 +46,63 @@ class CommStats:
     bytes_by_axis: Dict[int, int] = field(default_factory=lambda: {0: 0, 1: 0, 2: 0})
 
     def record(self, axis: int, nbytes: int) -> None:
+        if axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {axis!r}")
         self.messages += 1
         self.bytes_total += nbytes
-        self.bytes_by_axis[axis] = self.bytes_by_axis.get(axis, 0) + nbytes
+        self.bytes_by_axis[axis] += nbytes
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Fold another rank's counters into this one (parent-side
+        aggregation of per-rank stats); returns self for chaining."""
+        self.messages += other.messages
+        self.bytes_total += other.bytes_total
+        for axis, nbytes in other.bytes_by_axis.items():
+            if axis not in (0, 1, 2):
+                raise ValueError(f"axis must be 0, 1 or 2, got {axis!r}")
+            self.bytes_by_axis[axis] += nbytes
+        return self
+
+    def to_dict(self) -> Dict:
+        return {
+            "messages": self.messages,
+            "bytes_total": self.bytes_total,
+            "bytes_by_axis": {str(k): v for k, v in self.bytes_by_axis.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CommStats":
+        stats = cls(
+            messages=int(d.get("messages", 0)),
+            bytes_total=int(d.get("bytes_total", 0)),
+        )
+        for k, v in (d.get("bytes_by_axis") or {}).items():
+            axis = int(k)
+            if axis not in (0, 1, 2):
+                raise ValueError(f"axis must be 0, 1 or 2, got {axis!r}")
+            stats.bytes_by_axis[axis] += int(v)
+        return stats
+
+
+def component_region(global_grid: Grid, sub: Subdomain, name: str):
+    """Local update region of ``name`` on a ghosted slab: the owned
+    cells, shrunk along the derivative axis where the far read would
+    cross a non-periodic *global* boundary (matching the naive sweep's
+    clipping).  Returns ``None`` when the region is empty."""
+    spec = SPECS[name]
+    local_n = sub.shape
+    lo = [1, 1, 1]
+    hi = [1 + local_n[0], 1 + local_n[1], 1 + local_n[2]]
+    axis = spec.deriv_axis
+    bounds = (sub.z, sub.y, sub.x)[axis]
+    if not global_grid.periodic[axis]:
+        if spec.shift > 0 and bounds[1] == global_grid.axis_len(axis):
+            hi[axis] -= 1
+        if spec.shift < 0 and bounds[0] == 0:
+            lo[axis] += 1
+    if lo[axis] >= hi[axis]:
+        return None
+    return (slice(lo[0], hi[0]), slice(lo[1], hi[1]), slice(lo[2], hi[2]))
 
 
 class _Rank:
@@ -141,25 +195,7 @@ class DistributedTHIIM:
     # -- update ---------------------------------------------------------------
 
     def _component_region(self, rank: _Rank, name: str):
-        """Local update region: the owned slab, shrunk along the
-        derivative axis where the far read would cross a non-periodic
-        *global* boundary (matching the naive sweep's clipping)."""
-        spec = SPECS[name]
-        sub = rank.sub
-        local_n = sub.shape
-        lo = [1, 1, 1]
-        hi = [1 + local_n[0], 1 + local_n[1], 1 + local_n[2]]
-        axis = spec.deriv_axis
-        g = self.global_grid
-        bounds = (sub.z, sub.y, sub.x)[axis]
-        if not g.periodic[axis]:
-            if spec.shift > 0 and bounds[1] == g.axis_len(axis):
-                hi[axis] -= 1
-            if spec.shift < 0 and bounds[0] == 0:
-                lo[axis] += 1
-        if lo[axis] >= hi[axis]:
-            return None
-        return (slice(lo[0], hi[0]), slice(lo[1], hi[1]), slice(lo[2], hi[2]))
+        return component_region(self.global_grid, rank.sub, name)
 
     def _half_step(self, components: Tuple[str, ...], read_class: Tuple[str, ...], direction: int) -> None:
         self._exchange(read_class, direction)

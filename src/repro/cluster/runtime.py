@@ -1,0 +1,636 @@
+"""Real multiprocess distributed THIIM: ranks, halos, checkpoints.
+
+The promotion of :mod:`repro.cluster.distributed` from simulated ranks
+to actual OS processes.  One parent (the scheduler's worker, or a thread
+worker's call frame) forks ``layout.n_ranks`` rank processes; each rank
+owns the same ghosted slab a simulated ``_Rank`` would, exchanges halos
+through a :mod:`repro.cluster.transport` (shared memory, or queues as
+fallback), and advances the exact Fig. 3 half-step sequence with the
+shared :func:`~repro.cluster.distributed.component_region` clipping.
+
+Bit-identity with the single-domain sweep is preserved by construction:
+
+* Ranks are forked from a parent that already built the full global
+  :class:`~repro.fdfd.thiim.THIIMSolver`, so every slab is cut from the
+  *same* coefficient arrays a scalar solve uses.
+* Ranks never compute residuals.  At every convergence boundary the
+  parent gathers the owned slabs over the control pipes, assembles the
+  global :class:`~repro.fdfd.fields.FieldState` and evaluates
+  :func:`~repro.fdfd.observables.relative_change` /
+  :func:`~repro.fdfd.thiim.divergence_reason` on it -- the same
+  full-domain reduction order as :meth:`THIIMSolver.solve`, which is
+  what makes the residual history (and hence the stop step) identical.
+
+Resilience: each rank snapshots its slab through the ordinary
+:class:`~repro.resilience.checkpoint.CheckpointManager` (name and token
+namespaced by layout and coordinate), and the parent commits a *marker*
+file once every rank has acknowledged a boundary -- a group checkpoint
+is only resumable when all of its members exist at the same step.  A
+rank death surfaces as :class:`~repro.resilience.errors.RankCrash`
+(retryable); the scheduler's retry re-enters this module, reads the
+marker, and resumes every rank from the committed boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..core import tracing
+from ..fdfd.fields import FieldState
+from ..fdfd.kernels import update_component
+from ..fdfd.observables import relative_change
+from ..fdfd.specs import (
+    ALL_COMPONENTS,
+    BYTES_PER_NUMBER,
+    E_COMPONENTS,
+    H_COMPONENTS,
+)
+from ..fdfd.thiim import SolveResult, divergence_reason
+from ..ioutil import atomic_write_json, read_json
+from ..resilience import faults
+from ..resilience.checkpoint import CheckpointManager, note_report, solver_token
+from ..resilience.errors import RankCrash, SolverDiverged, error_from_kind
+from .decomposition import Coord, RankLayout
+from .distributed import CommStats, _Rank, component_region
+from .transport import SYNC_TIMEOUT_S, face_shape, make_transport
+
+__all__ = ["run_distributed", "clear_checkpoints", "MARKER_VERSION"]
+
+MARKER_VERSION = 1
+
+
+def _marker_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"ckpt-{name}.cluster.json")
+
+
+def _rank_token(base: str, coord: Coord) -> str:
+    return hashlib.sha256(f"{base}:{coord}".encode()).hexdigest()[:32]
+
+
+def _rank_name(name: str, coord: Coord) -> str:
+    return f"{name}.r{coord[0]}-{coord[1]}-{coord[2]}"
+
+
+def clear_checkpoints(layout: RankLayout, directory: Optional[str],
+                      name: str) -> None:
+    """Drop every rank snapshot and the group marker (result stored)."""
+    if not directory:
+        return
+    for coord in layout.coords():
+        try:
+            os.unlink(os.path.join(
+                directory, f"ckpt-{_rank_name(name, coord)}.npz"))
+        except OSError:
+            pass
+    try:
+        os.unlink(_marker_path(directory, name))
+    except OSError:
+        pass
+
+
+class _SlabSnapshot:
+    """Duck-typed ``fields`` adapter over one rank's owned slab, so a
+    slab snapshot rides the ordinary :class:`CheckpointManager` (atomic
+    write, token guard, quarantine) without a full :class:`Grid`."""
+
+    __slots__ = ("grid", "_owned")
+
+    def __init__(self, grid_meta, owned: Dict[str, np.ndarray]):
+        self.grid = grid_meta
+        self._owned = owned
+
+    def __iter__(self):
+        return iter(ALL_COMPONENTS)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._owned[name]
+
+    def __setitem__(self, name: str, value: np.ndarray) -> None:
+        self._owned[name][...] = value
+
+
+# -- rank side -----------------------------------------------------------------
+
+
+def _rank_edges(layout: RankLayout, coord: Coord):
+    """This rank's transported send/recv edges and local self-edges."""
+    send, recv, selfs = [], [], []
+    for axis in range(3):
+        for direction in (-1, +1):
+            nb = layout.neighbor(coord, axis, direction)
+            if nb == coord:
+                selfs.append((axis, direction))
+                continue
+            if nb is not None:
+                recv.append(((coord, axis, direction), axis, direction))
+            sender_for = layout.neighbor(coord, axis, -direction)
+            if sender_for is not None and sender_for != coord:
+                send.append(((sender_for, axis, direction), axis, direction))
+    return send, recv, selfs
+
+
+def _rank_main(index: int, coord: Coord, layout: RankLayout, solver,
+               transport, conn, attempt: int, trace_on: bool,
+               ckpt_cfg: Optional[dict]) -> None:
+    """Entry point of one rank process (fork: everything is inherited)."""
+    faults.set_in_child(True)
+    faults.set_attempt(attempt)
+    telemetry.disable()
+    rec = tracing.start_trace(None) if trace_on else None
+    try:
+        sub = layout.subdomain(coord)
+        my_shape = sub.shape
+        rank = _Rank(sub, solver.fields, solver.coefficients)
+        stats = CommStats()
+        send_edges, recv_edges, self_edges = _rank_edges(layout, coord)
+        inner = [slice(1, 1 + n) for n in my_shape]
+        regions = {
+            name: component_region(layout.grid, sub, name)
+            for name in ALL_COMPONENTS
+        }
+
+        def exchange(names: Tuple[str, ...], direction: int) -> None:
+            for key, axis, d in send_edges:
+                if d != direction:
+                    continue
+                src_idx = list(inner)
+                src_idx[axis] = 1 if direction > 0 else my_shape[axis]
+                block = np.empty(
+                    (len(names),) + face_shape(my_shape, axis), np.complex128)
+                for i, name in enumerate(names):
+                    block[i] = rank.fields[name][tuple(src_idx)]
+                transport.send(key, block)
+            for axis, d in self_edges:
+                # Periodic axis with a single rank: the ghost is our own
+                # opposite face; copy locally, no transport.
+                if d != direction:
+                    continue
+                dst_idx = list(inner)
+                dst_idx[axis] = 1 + my_shape[axis] if direction > 0 else 0
+                src_idx = list(inner)
+                src_idx[axis] = 1 if direction > 0 else my_shape[axis]
+                for name in names:
+                    rank.fields[name][tuple(dst_idx)] = \
+                        rank.fields[name][tuple(src_idx)]
+            transport.sync()
+            for key, axis, d in recv_edges:
+                if d != direction:
+                    continue
+                block = transport.recv(key)
+                dst_idx = list(inner)
+                dst_idx[axis] = 1 + my_shape[axis] if direction > 0 else 0
+                for i, name in enumerate(names):
+                    rank.fields[name][tuple(dst_idx)] = block[i]
+                for _ in names:
+                    stats.record(axis, sub.face_cells(axis) * BYTES_PER_NUMBER)
+            for axis, d in self_edges:
+                if d != direction:
+                    continue
+                # Same receiver-side accounting as the simulated ranks
+                # (and the cost model): a wrap still moves a face.
+                for _ in names:
+                    stats.record(axis, sub.face_cells(axis) * BYTES_PER_NUMBER)
+
+        def run_block(n: int) -> None:
+            for _ in range(n):
+                # H half step reads E at +1 -> high-face E ghosts.
+                exchange(E_COMPONENTS, +1)
+                for name in H_COMPONENTS:
+                    if regions[name] is not None:
+                        update_component(name, rank.fields, rank.coeffs,
+                                         regions[name])
+                # E half step reads H at -1 -> low-face H ghosts.
+                exchange(H_COMPONENTS, -1)
+                for name in E_COMPONENTS:
+                    if regions[name] is not None:
+                        update_component(name, rank.fields, rank.coeffs,
+                                         regions[name])
+
+        ckpt: Optional[CheckpointManager] = None
+        snap: Optional[_SlabSnapshot] = None
+        if ckpt_cfg is not None:
+            ckpt = CheckpointManager(
+                ckpt_cfg["directory"], name=_rank_name(ckpt_cfg["name"], coord),
+                token=_rank_token(ckpt_cfg["token"], coord),
+                every=max(int(ckpt_cfg.get("every", 1)), 1))
+            grid_meta = SimpleNamespace(
+                shape=tuple(my_shape), spacing=tuple(layout.grid.spacing),
+                periodic=tuple(layout.grid.periodic))
+            snap = _SlabSnapshot(
+                grid_meta, {n: rank.owned(n) for n in ALL_COMPONENTS})
+
+        loaded = ckpt.load() if ckpt is not None else None
+        conn.send({"type": "hello", "pid": os.getpid(),
+                   "resumed": None if loaded is None else int(loaded.steps)})
+        msg = conn.recv()
+        if msg.get("type") != "begin":
+            raise RuntimeError(f"expected begin, got {msg!r}")
+        if msg["restore"] and loaded is not None:
+            for name in ALL_COMPONENTS:
+                rank.owned(name)[...] = loaded.arrays[name]
+            ckpt.resumed_from = loaded.steps
+        conn.send({"type": "state",
+                   "fields": {n: np.ascontiguousarray(rank.owned(n))
+                              for n in ALL_COMPONENTS}})
+
+        while True:
+            msg = conn.recv()
+            t = msg.get("type")
+            if t == "step":
+                faults.hit("cluster.rank")
+                faults.hit(f"cluster.rank.{index}")
+                label = f"rank {coord[0]},{coord[1]},{coord[2]}"
+                with tracing.span(f"{label} sweep", "cluster",
+                                  args={"n": msg["n"]}):
+                    run_block(msg["n"])
+                conn.send({"type": "check",
+                           "fields": {n: np.ascontiguousarray(rank.owned(n))
+                                      for n in ALL_COMPONENTS},
+                           "stats": stats.to_dict()})
+            elif t == "save":
+                path = None
+                if ckpt is not None and snap is not None:
+                    path = ckpt.save(snap, msg["steps"], msg["history"])
+                conn.send({"type": "saved", "ok": path is not None})
+            elif t == "stop":
+                conn.send({"type": "bye", "stats": stats.to_dict(),
+                           "trace": rec.export() if rec is not None else None})
+                break
+            else:
+                raise RuntimeError(f"unknown command {t!r}")
+        conn.close()
+        os._exit(0)
+    except EOFError:
+        os._exit(1)
+    except BaseException as exc:  # surface typed errors to the parent
+        try:
+            conn.send({"type": "error", "kind": type(exc).__name__,
+                       "message": str(exc)})
+        except OSError:
+            pass
+        os._exit(1)
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+def _recv(coord: Coord, conns: Dict[Coord, object],
+          procs: Dict[Coord, object], timeout_s: float,
+          watch_siblings: bool = True):
+    """Receive one message from a rank, watching *every* rank's health
+    (a dead sibling stalls the barrier, so waiting on one pipe must not
+    mask another rank's crash).  ``watch_siblings=False`` during the
+    graceful stop, where clean sibling exits are expected."""
+    conn = conns[coord]
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            if conn.poll(0.05):
+                return conn.recv()
+            if procs[coord].exitcode is not None:
+                if conn.poll(0.2):
+                    return conn.recv()
+                raise RankCrash(
+                    f"rank {coord} exited with code "
+                    f"{procs[coord].exitcode} mid-solve",
+                    coord=list(coord), exitcode=procs[coord].exitcode)
+        except (EOFError, OSError):
+            raise RankCrash(
+                f"rank {coord} closed its pipe mid-solve", coord=list(coord))
+        if watch_siblings:
+            for c, proc in procs.items():
+                if c == coord or proc.exitcode in (None, 0):
+                    continue
+                # Prefer the sibling's own typed error, if it sent one
+                # before dying; otherwise report the death itself.
+                try:
+                    if conns[c].poll(0.1):
+                        _check_payload(conns[c].recv(), c)
+                except (EOFError, OSError):
+                    pass
+                raise RankCrash(
+                    f"rank {c} exited with code {proc.exitcode} mid-solve",
+                    coord=list(c), exitcode=proc.exitcode)
+        if time.monotonic() > deadline:
+            raise RankCrash(
+                f"rank {coord} unresponsive for {timeout_s:.0f}s",
+                coord=list(coord))
+
+
+def _check_payload(msg: dict, coord: Coord) -> dict:
+    if msg.get("type") == "error":
+        raise error_from_kind(msg.get("kind"),
+                              f"rank {coord}: {msg.get('message')}")
+    return msg
+
+
+def _assemble(layout: RankLayout,
+              slabs: Dict[Coord, Dict[str, np.ndarray]]) -> FieldState:
+    out = FieldState(layout.grid)
+    for coord, arrays in slabs.items():
+        sub = layout.subdomain(coord)
+        own = (slice(sub.z[0], sub.z[1]), slice(sub.y[0], sub.y[1]),
+               slice(sub.x[0], sub.x[1]))
+        for name in ALL_COMPONENTS:
+            out[name][own] = arrays[name]
+    return out
+
+
+def _slab_residual(arrays: Dict[str, np.ndarray], previous: FieldState,
+                   own) -> float:
+    num = den = 0.0
+    for name in arrays:
+        if not name.startswith("E"):
+            continue
+        d = arrays[name] - previous[name][own]
+        num += float(np.sum(np.abs(d) ** 2))
+        den += float(np.sum(np.abs(arrays[name]) ** 2))
+    if den == 0.0:
+        return 0.0 if num == 0.0 else float(np.inf)
+    return float(np.sqrt(num / den))
+
+
+def run_distributed(
+    layout: RankLayout,
+    solver,
+    tol: float,
+    max_steps: int,
+    check_every: int = 20,
+    name: str = "cluster",
+    checkpoint_dir: Optional[str] = None,
+    every: int = 0,
+    attempt: int = 1,
+    timeout_s: float = SYNC_TIMEOUT_S,
+    on_divergence: str = "raise",
+) -> Tuple[SolveResult, Dict]:
+    """Solve ``solver``'s problem across real rank processes.
+
+    Returns ``(result, info)`` where ``result`` is a plain
+    :class:`SolveResult` (global fields, bit-identical to the scalar
+    sweep) and ``info`` carries the cluster provenance: pids, transport,
+    merged halo stats, resume point and group-checkpoint saves.
+    """
+    import multiprocessing as mp
+
+    if tuple(solver.grid.shape) != tuple(layout.grid.shape):
+        raise ValueError("solver grid does not match the layout's grid")
+    if tuple(solver.grid.periodic) != tuple(layout.grid.periodic):
+        raise ValueError("solver periodicity does not match the layout's grid")
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    if check_every < 1:
+        raise ValueError("check_every must be >= 1")
+    if on_divergence not in ("return", "raise"):
+        raise ValueError("on_divergence must be 'return' or 'raise'")
+
+    grid = layout.grid
+    coords = list(layout.coords())
+
+    # Group-checkpoint configuration: one token namespace per layout, so
+    # a 2x2x1 run can never resume a 1x1x2 run's slabs (or a scalar
+    # solve's snapshot).
+    ckpt_cfg = None
+    marker = None
+    resumed_steps: Optional[int] = None
+    resumed_history: List[float] = []
+    if checkpoint_dir and every >= 1:
+        base = solver_token(solver, tol=tol, max_steps=max_steps,
+                            check_every=check_every,
+                            ranks="x".join(str(d) for d in layout.dims))
+        ckpt_cfg = {"directory": checkpoint_dir, "name": name,
+                    "token": base, "every": every}
+        marker = _marker_path(checkpoint_dir, name)
+        doc = read_json(marker)
+        if (isinstance(doc, dict) and doc.get("version") == MARKER_VERSION
+                and doc.get("token") == base
+                and isinstance(doc.get("steps"), int)):
+            resumed_steps = int(doc["steps"])
+            resumed_history = [float(v) for v in doc.get("history") or []]
+
+    transport = make_transport(layout, timeout_s=timeout_s)
+    ctx = mp.get_context("fork")
+    trace_on = tracing.active() is not None
+    procs: Dict[Coord, object] = {}
+    conns: Dict[Coord, object] = {}
+    stats = CommStats()
+    saves = 0
+    last_saved: Optional[int] = None
+
+    def report(resumed_from: Optional[int]) -> None:
+        if ckpt_cfg is not None and marker is not None:
+            note_report(marker, saves, resumed_from)
+
+    def stop_ranks() -> None:
+        """Graceful stop: collect stats + trace lanes from every rank."""
+        rec = tracing.active()
+        for coord in coords:
+            conns[coord].send({"type": "stop"})
+        for coord in coords:
+            bye = _check_payload(
+                _recv(coord, conns, procs, timeout_s,
+                      watch_siblings=False), coord)
+            stats.merge(CommStats.from_dict(bye["stats"]))
+            if rec is not None and bye.get("trace"):
+                z, y, x = coord
+                rec.merge_child(bye["trace"], label=f"rank {z},{y},{x}")
+        for coord in coords:
+            procs[coord].join(timeout=timeout_s)
+
+    try:
+        for index, coord in enumerate(coords):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_rank_main,
+                args=(index, coord, layout, solver, transport, child_conn,
+                      attempt, trace_on, ckpt_cfg),
+                daemon=True,
+                name=f"repro-rank-{coord[0]}-{coord[1]}-{coord[2]}",
+            )
+            proc.start()
+            child_conn.close()
+            procs[coord] = proc
+            conns[coord] = parent_conn
+
+        hellos = {
+            coord: _check_payload(
+                _recv(coord, conns, procs, timeout_s), coord)
+            for coord in coords
+        }
+        pids = [int(hellos[c]["pid"]) for c in coords]
+
+        # Resume only when the marker and *every* rank snapshot agree on
+        # the boundary; anything else restarts from sweep 0 (safe and
+        # still bit-identical -- determinism makes restarts free).
+        restore = resumed_steps is not None and all(
+            hellos[c]["resumed"] == resumed_steps for c in coords)
+        steps = resumed_steps if restore else 0
+        history = list(resumed_history) if restore else []
+        resumed_from = steps if restore and steps else None
+        report(resumed_from)
+        for coord in coords:
+            conns[coord].send({"type": "begin", "restore": restore})
+        slabs = {
+            coord: _check_payload(
+                _recv(coord, conns, procs, timeout_s), coord)["fields"]
+            for coord in coords
+        }
+        previous = _assemble(layout, slabs)
+        current = previous
+        if restore and resumed_from:
+            from ..resilience.errors import RESILIENCE_COUNTERS
+
+            RESILIENCE_COUNTERS.bump("checkpoints_resumed")
+            if telemetry.enabled():
+                telemetry.checkpoint_resumes().inc()
+
+        if telemetry.enabled():
+            telemetry.cluster_ranks().set(layout.n_ranks)
+            telemetry.publish(
+                "cluster", phase="start", ranks=layout.n_ranks,
+                layout=list(layout.dims), transport=transport.name,
+                pids=pids, sweeps=steps,
+                resumed_from=resumed_from)
+        rec = tracing.active()
+        if rec is not None:
+            rec.instant("cluster.start", "cluster", args=telemetry.span_args(
+                {"ranks": layout.n_ranks, "layout": list(layout.dims),
+                 "transport": transport.name}))
+
+        prev_bytes_axis = {0: 0, 1: 0, 2: 0}
+        prev_messages = 0
+
+        def publish_boundary(res: float, current_slabs) -> None:
+            merged = CommStats()
+            for coord in coords:
+                merged.merge(CommStats.from_dict(current_slabs[coord]["stats"]))
+            nonlocal prev_messages
+            if telemetry.enabled():
+                for axis in (0, 1, 2):
+                    delta = merged.bytes_by_axis[axis] - prev_bytes_axis[axis]
+                    if delta > 0:
+                        telemetry.cluster_halo_bytes().labels(
+                            axis="zyx"[axis]).inc(delta)
+                    prev_bytes_axis[axis] = merged.bytes_by_axis[axis]
+                if merged.messages > prev_messages:
+                    telemetry.cluster_halo_messages().inc(
+                        merged.messages - prev_messages)
+                rank_res = {}
+                for coord in coords:
+                    sub = layout.subdomain(coord)
+                    own = (slice(sub.z[0], sub.z[1]),
+                           slice(sub.y[0], sub.y[1]),
+                           slice(sub.x[0], sub.x[1]))
+                    z, y, x = coord
+                    rank_res[f"{z},{y},{x}"] = _slab_residual(
+                        current_slabs[coord]["fields"], previous, own) / n
+                telemetry.publish(
+                    "cluster", sweeps=steps, residual=float(res),
+                    ranks=layout.n_ranks, rank_residuals=rank_res,
+                    halo_bytes=merged.bytes_total,
+                    halo_messages=merged.messages)
+            prev_messages = merged.messages
+
+        while steps < max_steps:
+            n = min(check_every, max_steps - steps)
+            faults.hit("solver.sweep")
+            for coord in coords:
+                conns[coord].send({"type": "step", "n": n})
+            checks = {
+                coord: _check_payload(
+                    _recv(coord, conns, procs, timeout_s), coord)
+                for coord in coords
+            }
+            steps += n
+            current = _assemble(
+                layout, {c: checks[c]["fields"] for c in coords})
+            res = relative_change(current, previous) / n
+            history.append(res)
+            publish_boundary(res, checks)
+            reason = divergence_reason(res, history)
+            if reason is not None:
+                stop_ranks()
+                if on_divergence == "raise":
+                    raise SolverDiverged(
+                        f"THIIM iteration diverged after {steps} steps: "
+                        f"{reason}",
+                        steps=steps, residual=float(res),
+                        history_tail=[float(r) for r in history[-6:]])
+                return _finish(current, steps, res, False, history,
+                               layout, stats, pids, transport, resumed_from,
+                               saves)
+            if res < tol:
+                stop_ranks()
+                return _finish(current, steps, res, True, history,
+                               layout, stats, pids, transport, resumed_from,
+                               saves)
+            previous = current
+            anchor = last_saved if last_saved is not None else (
+                resumed_from or 0)
+            if ckpt_cfg is not None and steps - anchor >= every:
+                for coord in coords:
+                    conns[coord].send(
+                        {"type": "save", "steps": steps,
+                         "history": [float(r) for r in history]})
+                acks = {
+                    coord: _check_payload(
+                        _recv(coord, conns, procs, timeout_s), coord)
+                    for coord in coords
+                }
+                if all(acks[c].get("ok") for c in coords):
+                    atomic_write_json(
+                        marker,
+                        {"version": MARKER_VERSION, "token": ckpt_cfg["token"],
+                         "steps": steps,
+                         "history": [float(r) for r in history],
+                         "layout": list(layout.dims)},
+                        checksum=True)
+                    saves += 1
+                    last_saved = steps
+                    report(resumed_from)
+
+        stop_ranks()
+        final_res = history[-1] if history else float(np.inf)
+        return _finish(current, steps, final_res, False, history, layout,
+                       stats, pids, transport, resumed_from, saves)
+    except RankCrash:
+        if telemetry.enabled():
+            telemetry.cluster_rank_failures().inc()
+            telemetry.publish("cluster", phase="rank-crash",
+                              ranks=layout.n_ranks)
+        raise
+    finally:
+        for proc in procs.values():
+            if proc.exitcode is None:
+                proc.terminate()
+        for proc in procs.values():
+            proc.join(timeout=5.0)
+        for conn in conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        transport.shutdown()
+
+
+def _finish(fields: FieldState, steps: int, res: float, converged: bool,
+            history: List[float], layout: RankLayout, stats: CommStats,
+            pids: List[int], transport, resumed_from: Optional[int],
+            saves: int) -> Tuple[SolveResult, Dict]:
+    result = SolveResult(fields, steps, float(res), converged, list(history))
+    info = {
+        "layout": list(layout.dims),
+        "ranks": layout.n_ranks,
+        "pids": pids,
+        "transport": transport.name,
+        "halo": stats.to_dict(),
+        "resumed_from": resumed_from,
+        "saves": saves,
+    }
+    return result, info

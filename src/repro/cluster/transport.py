@@ -1,0 +1,202 @@
+"""Halo transports for the multiprocess cluster runtime.
+
+A transport moves one *edge block* -- the six read-class components of a
+ghost plane, packed ``(6,) + face_shape`` complex128 -- from the sending
+rank to the receiving rank.  Edges are keyed ``(receiver_coord, axis,
+direction)``; the sender for an edge is ``layout.neighbor(receiver,
+axis, direction)``, i.e. the rank whose owned boundary plane fills that
+ghost.  Self-edges (a periodic axis with one rank, where a rank's ghost
+comes from its own far face) never reach a transport: the runtime copies
+them locally.
+
+Two implementations:
+
+* :class:`ShmTransport` -- one ``multiprocessing.shared_memory`` segment
+  per edge, created (and its numpy view built) in the **parent** before
+  forking, so every rank inherits a mapping of the same physical pages.
+  A single reusable barrier separates the pack phase from the read
+  phase of each exchange; the alternating +1/-1 exchanges of the THIIM
+  step then guarantee a buffer is never repacked before its reader has
+  moved past it (the reader must clear the *other* exchange's barrier
+  first).
+* :class:`QueueTransport` -- one ``multiprocessing.Queue`` per directed
+  edge, for hosts where POSIX shared memory is unavailable.  ``send``
+  enqueues a freshly packed block (never mutated afterwards, so the
+  feeder thread's lazy pickling is safe) and ``sync`` is a no-op.
+
+``make_transport`` picks by ``REPRO_CLUSTER_TRANSPORT`` (``shm``,
+``pipe`` or ``auto`` -- shm with queue fallback).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .. import config
+from .decomposition import Coord, RankLayout
+
+__all__ = [
+    "EdgeKey",
+    "HaloTransport",
+    "QueueTransport",
+    "ShmTransport",
+    "edge_keys",
+    "face_shape",
+    "make_transport",
+]
+
+#: (receiver coordinate, axis, direction): the ghost plane being filled.
+EdgeKey = Tuple[Coord, int, int]
+
+#: Safety net against orphaned ranks spinning forever on a dead peer.
+SYNC_TIMEOUT_S = 120.0
+
+
+def face_shape(sub_shape: Tuple[int, int, int], axis: int) -> Tuple[int, int]:
+    """Shape of one ghost/boundary plane perpendicular to ``axis``."""
+    nz, ny, nx = sub_shape
+    return ((ny, nx), (nz, nx), (nz, ny))[axis]
+
+
+def edge_keys(layout: RankLayout) -> List[Tuple[EdgeKey, Coord]]:
+    """Every transported edge of a layout as ``(key, sender_coord)``.
+
+    Skips faces with no neighbour (non-periodic boundary) and
+    self-edges (sender == receiver), which the runtime copies locally.
+    """
+    out = []
+    for coord in layout.coords():
+        for axis in range(3):
+            for direction in (-1, +1):
+                sender = layout.neighbor(coord, axis, direction)
+                if sender is None or sender == coord:
+                    continue
+                out.append((((coord), axis, direction), sender))
+    return out
+
+
+class HaloTransport:
+    """Interface: pack blocks, synchronize, read blocks."""
+
+    name = "none"
+
+    def send(self, key: EdgeKey, block: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Barrier between the pack and read phases of one exchange
+        (collective; every rank must call it the same number of times)."""
+        raise NotImplementedError
+
+    def recv(self, key: EdgeKey) -> np.ndarray:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Parent-side cleanup after all ranks have exited."""
+
+
+class ShmTransport(HaloTransport):
+    """Shared-memory segments + one reusable barrier.
+
+    Must be constructed in the parent *before* the rank processes fork:
+    the numpy views are built over the parent's mappings and inherited,
+    so ranks never attach by name (no resource-tracker involvement in
+    children; the parent owns unlink).
+    """
+
+    name = "shm"
+
+    def __init__(self, layout: RankLayout, arrays: int = 6,
+                 timeout_s: float = SYNC_TIMEOUT_S):
+        self.timeout_s = timeout_s
+        self._barrier = mp.get_context("fork").Barrier(layout.n_ranks)
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._views: Dict[EdgeKey, np.ndarray] = {}
+        subs = layout.subdomains()
+        try:
+            for key, _sender in edge_keys(layout):
+                coord, axis, _direction = key
+                shape = (arrays,) + face_shape(subs[coord].shape, axis)
+                nbytes = int(np.prod(shape)) * np.dtype(np.complex128).itemsize
+                seg = shared_memory.SharedMemory(create=True, size=nbytes)
+                self._segments.append(seg)
+                view = np.ndarray(shape, dtype=np.complex128, buffer=seg.buf)
+                view.fill(0)
+                self._views[key] = view
+        except Exception:
+            self.shutdown()
+            raise
+
+    def send(self, key: EdgeKey, block: np.ndarray) -> None:
+        self._views[key][...] = block
+
+    def sync(self) -> None:
+        self._barrier.wait(timeout=self.timeout_s)
+
+    def recv(self, key: EdgeKey) -> np.ndarray:
+        return self._views[key]
+
+    def shutdown(self) -> None:
+        # Views hold exported buffers; drop them before close/unlink.
+        self._views.clear()
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except OSError:
+                pass
+
+
+class QueueTransport(HaloTransport):
+    """One queue per directed edge; pack-then-read needs no barrier."""
+
+    name = "pipe"
+
+    def __init__(self, layout: RankLayout, arrays: int = 6,
+                 timeout_s: float = SYNC_TIMEOUT_S):
+        del arrays
+        self.timeout_s = timeout_s
+        ctx = mp.get_context("fork")
+        self._queues: Dict[EdgeKey, mp.queues.Queue] = {
+            key: ctx.Queue(maxsize=4) for key, _sender in edge_keys(layout)
+        }
+
+    def send(self, key: EdgeKey, block: np.ndarray) -> None:
+        # A fresh copy per send: the queue's feeder thread pickles
+        # lazily, and the caller's arrays mutate every sweep.
+        self._queues[key].put(np.ascontiguousarray(block))
+
+    def sync(self) -> None:
+        pass
+
+    def recv(self, key: EdgeKey) -> np.ndarray:
+        return self._queues[key].get(timeout=self.timeout_s)
+
+    def shutdown(self) -> None:
+        queues, self._queues = self._queues, {}
+        for q in queues.values():
+            q.close()
+            q.join_thread()
+
+
+def make_transport(layout: RankLayout, arrays: int = 6,
+                   timeout_s: float = SYNC_TIMEOUT_S) -> HaloTransport:
+    """Build the transport ``REPRO_CLUSTER_TRANSPORT`` asks for.
+
+    ``auto`` tries shared memory and falls back to queues when the host
+    refuses POSIX shm (containers with a locked-down ``/dev/shm``).
+    """
+    mode = config.cluster_transport()
+    if mode == "pipe":
+        return QueueTransport(layout, arrays, timeout_s)
+    if mode == "shm":
+        return ShmTransport(layout, arrays, timeout_s)
+    try:
+        return ShmTransport(layout, arrays, timeout_s)
+    except OSError:
+        return QueueTransport(layout, arrays, timeout_s)

@@ -26,6 +26,7 @@ __all__ = [
     "FLAGS",
     "checkpoint_dir",
     "checkpoint_every",
+    "cluster_transport",
     "describe",
     "drain_timeout",
     "faults_schedule",
@@ -111,6 +112,11 @@ FLAGS: Dict[str, Flag] = {
         Flag(
             "REPRO_QUEUE_FILE", "(disabled)", "path",
             "spool file persisting queued jobs across graceful restarts",
+        ),
+        Flag(
+            "REPRO_CLUSTER_TRANSPORT", "auto", "choice",
+            "distributed halo transport: shm, pipe, or auto "
+            "(shared memory with pipe fallback)",
         ),
         Flag(
             "REPRO_TELEMETRY", "(auto)", "bool",
@@ -210,6 +216,13 @@ def drain_timeout() -> float:
 def queue_file() -> Optional[str]:
     """Queue spool path for graceful restarts, or ``None`` (disabled)."""
     return os.environ.get("REPRO_QUEUE_FILE") or None
+
+
+def cluster_transport() -> str:
+    """Distributed halo transport: ``shm``, ``pipe`` or ``auto``
+    (malformed values read as ``auto``)."""
+    raw = (os.environ.get("REPRO_CLUSTER_TRANSPORT") or "auto").lower()
+    return raw if raw in ("shm", "pipe", "auto") else "auto"
 
 
 def telemetry_mode() -> Optional[bool]:

@@ -48,6 +48,7 @@ __all__ = [
     "solver_token",
     "batched_solver_token",
     "latest_lag_s",
+    "note_report",
     "take_report",
 ]
 
@@ -84,6 +85,14 @@ def take_report() -> Optional[dict]:
     value = _REPORT.value
     _REPORT.value = None
     return value
+
+
+def note_report(path: str, saves: int, resumed_from: Optional[int]) -> None:
+    """Set the calling thread's checkpoint report directly -- used by
+    drivers (the distributed runtime) whose checkpoint activity happens
+    in rank processes, out of reach of a local manager's bookkeeping."""
+    _REPORT.value = {"path": path, "saves": saves,
+                     "resumed_from": resumed_from}
 
 
 def solver_token(solver, **cadence) -> str:

@@ -29,6 +29,7 @@ __all__ = [
     "EngineUnavailable",
     "CheckpointMismatch",
     "InjectedFault",
+    "RankCrash",
     "ResilienceCounters",
     "RESILIENCE_COUNTERS",
     "error_from_kind",
@@ -98,12 +99,22 @@ class InjectedFault(ReproError):
     http_status = 500
 
 
+class RankCrash(ReproError):
+    """A rank process of a distributed solve died mid-step.  Transient
+    (like a worker crash): the scheduler retries, and the surviving
+    ranks' checkpoints let the retry resume from the last committed
+    boundary."""
+
+    http_status = 500
+
+
 #: Name -> class map used to rehydrate typed errors that crossed a
 #: process boundary as strings (forked-worker spool files).
 _TAXONOMY = {
     cls.__name__: cls
     for cls in (ReproError, SolverDiverged, CorruptArtifact,
-                EngineUnavailable, CheckpointMismatch, InjectedFault)
+                EngineUnavailable, CheckpointMismatch, InjectedFault,
+                RankCrash)
 }
 
 

@@ -74,6 +74,7 @@ SITES = (
     "solver.sweep",      # each THIIM convergence-check block (scalar + batched)
     "tile.execute",      # each wavefront-diamond tile
     "job.run",           # top of run_job (any worker, incl. batch jobs)
+    "cluster.rank",      # each rank's sweep block ("cluster.rank.N" targets rank N)
     "http.request",      # top of every HTTP handler
 )
 

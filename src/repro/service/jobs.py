@@ -30,7 +30,7 @@ from ..resilience import faults
 
 __all__ = ["JobSpec", "Job", "JobState", "run_job", "FAULTS"]
 
-KINDS = ("solve", "tune", "batch")
+KINDS = ("solve", "tune", "batch", "distributed")
 TUNING_POLICIES = ("spec", "registry")
 VARIANTS = ("spatial", "1wd", "mwd")
 #: Test hooks for the retry machinery.  ``fail_once`` raises on the first
@@ -46,6 +46,33 @@ _IDENTITY_FIELDS = (
     "tiled", "dw", "bz", "threads", "variant", "tg_size", "bandwidth",
     "tuning", "fault",
 )
+
+
+def _parse_ranks(ranks: str):
+    """Parse a spec's ranks request: ``("dims", (pz, py, px))`` for an
+    explicit layout, ``("count", n)`` when the cost model factorizes."""
+    s = str(ranks).strip().lower()
+    if "x" in s:
+        parts = s.split("x")
+        try:
+            dims = tuple(int(p) for p in parts)
+        except ValueError:
+            raise ValueError(
+                f"ranks must be 'N' or 'PZxPYxPX', got {ranks!r}") from None
+        if len(dims) != 3:
+            raise ValueError(
+                f"ranks must be 'N' or 'PZxPYxPX', got {ranks!r}")
+        if any(d < 1 for d in dims):
+            raise ValueError("every ranks dimension must be >= 1")
+        return "dims", dims
+    try:
+        n = int(s)
+    except ValueError:
+        raise ValueError(
+            f"ranks must be 'N' or 'PZxPYxPX', got {ranks!r}") from None
+    if n < 1:
+        raise ValueError("ranks count must be >= 1")
+    return "count", n
 
 
 class JobState:
@@ -81,6 +108,10 @@ class JobSpec:
     tiled: bool = False
     dw: int = 4
     bz: int = 2
+    #: Distributed jobs only: the process-grid request, either an
+    #: explicit ``"PZxPYxPX"`` layout or a rank count ``"N"`` the
+    #: communication cost model factorizes (``kind="distributed"``).
+    ranks: Optional[str] = None
     # -- machine / tuning ----------------------------------------------------
     threads: int = 18
     variant: str = "mwd"
@@ -101,7 +132,8 @@ class JobSpec:
             raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
         if self.preset not in PRESETS:
             raise ValueError(f"preset must be one of {PRESETS}, got {self.preset!r}")
-        if self.grid < 8 or (self.kind == "solve" and self.grid < 10):
+        if self.grid < 8 or (self.kind in ("solve", "distributed")
+                             and self.grid < 10):
             # Solves need nz = 2*grid to clear the source plane at
             # max(nz//8, 12) and the incident-flux plane 4 cells below it.
             raise ValueError("grid must be >= 10 for solves (>= 8 for tune)")
@@ -120,6 +152,20 @@ class JobSpec:
             object.__setattr__(self, "wavelengths", ws)
         elif self.wavelengths is not None:
             raise ValueError("wavelengths is only valid for kind='batch'")
+        if self.kind == "distributed":
+            if self.ranks is None:
+                raise ValueError(
+                    "distributed jobs need a ranks field ('N' or 'PZxPYxPX')")
+            mode, value = _parse_ranks(self.ranks)
+            if self.tiled:
+                raise ValueError(
+                    "distributed jobs run the naive sweep (tiled=False)")
+            # Canonical form so identity hashing is whitespace/case-proof.
+            canonical = ("x".join(str(d) for d in value)
+                         if mode == "dims" else str(value))
+            object.__setattr__(self, "ranks", canonical)
+        elif self.ranks is not None:
+            raise ValueError("ranks is only valid for kind='distributed'")
         if self.tol <= 0:
             raise ValueError("tol must be positive")
         if self.max_steps < 1:
@@ -151,6 +197,11 @@ class JobSpec:
             # A batch's identity is its wavelength *set*; the scalar
             # wavelength field is inert for batch jobs.
             d["wavelength"] = None
+        if self.ranks is not None:
+            # Included only for distributed jobs (the layout namespaces
+            # registry/store tokens) so pre-existing job ids are
+            # unchanged.
+            d["ranks"] = self.ranks
         return d
 
     def point_spec(self, wavelength: float) -> "JobSpec":
@@ -163,6 +214,15 @@ class JobSpec:
         return dataclasses.replace(
             self, kind="solve", wavelength=float(wavelength), wavelengths=None
         )
+
+    def single_domain_spec(self) -> "JobSpec":
+        """The scalar solve of the same computation: identical in every
+        numeric field, so its result document is the bytes a distributed
+        run must reproduce (stored under the scalar job id)."""
+        if self.kind != "distributed":
+            raise ValueError(
+                "single_domain_spec is only meaningful on distributed jobs")
+        return dataclasses.replace(self, kind="solve", ranks=None)
 
     @property
     def job_id(self) -> str:
@@ -463,6 +523,56 @@ def _run_solve(spec: JobSpec, registry,
                       source_plane)
 
 
+def _run_distributed_solve(spec: JobSpec, registry,
+                           checkpoint_dir: Optional[str] = None,
+                           attempt: int = 1) -> Dict[str, Any]:
+    """Solve a spec across real rank processes (``kind="distributed"``).
+
+    The parent builds the same global solver a scalar solve would, cuts
+    it into the requested :class:`~repro.cluster.RankLayout` (explicit
+    ``"PZxPYxPX"``, or a count the communication cost model factorizes),
+    and drives :func:`~repro.cluster.runtime.run_distributed`.  The
+    result document is assembled by the same :func:`_point_doc` path as
+    a scalar solve -- byte-identical, stored under the layout-namespaced
+    job id.
+    """
+    import numpy as np
+
+    from .. import config
+    from ..cluster import RankLayout, choose_decomposition
+    from ..cluster.runtime import clear_checkpoints, run_distributed
+    from ..fdfd import THIIMSolver
+
+    grid, scene, source_plane, source, pml = _solve_geometry(spec)
+    omega = 2 * np.pi / spec.wavelength
+    solver = THIIMSolver(grid, omega, scene=scene, source=source, pml=pml)
+    mode, value = _parse_ranks(spec.ranks)
+    if mode == "dims":
+        layout = RankLayout(grid, *value)
+    else:
+        layout = choose_decomposition(grid, value)
+    plan = _resolve_plan(spec, registry)
+    directory = checkpoint_dir or config.checkpoint_dir()
+    every = config.checkpoint_every()
+    if not directory or every < 1:
+        directory, every = None, 0
+    t0 = time.perf_counter()
+    with tracing.span(f"cluster {layout.pz}x{layout.py}x{layout.px}",
+                      "cluster", args=telemetry.span_args(
+                          {"ranks": layout.n_ranks, "grid": spec.grid})):
+        result, _info = run_distributed(
+            layout, solver, tol=spec.tol, max_steps=spec.max_steps,
+            check_every=20, name=spec.job_id, checkpoint_dir=directory,
+            every=every, attempt=attempt)
+    _note_solve_rates(grid, result.iterations, time.perf_counter() - t0)
+    if directory:
+        # The solve is complete; its result is about to be stored (same
+        # reasoning as the scalar path's ckpt.clear()).
+        clear_checkpoints(layout, directory, spec.job_id)
+    return _point_doc(grid, omega, plan, result, solver.sigma, scene,
+                      source_plane)
+
+
 def _batch_checkpoint_for(spec: JobSpec, batched, checkpoint_dir, **cadence):
     """Checkpoint manager for a batch job.  The token is the *batched*
     one (batch width + every lane's scalar token), so a batch snapshot
@@ -618,4 +728,8 @@ def run_job(
         if spec.kind == "batch":
             return _run_batch_solve(spec, registry, store=store,
                                     checkpoint_dir=checkpoint_dir)
+        if spec.kind == "distributed":
+            return _run_distributed_solve(spec, registry,
+                                          checkpoint_dir=checkpoint_dir,
+                                          attempt=attempt)
         return _run_solve(spec, registry, checkpoint_dir=checkpoint_dir)

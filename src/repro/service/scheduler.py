@@ -45,7 +45,12 @@ from ..core import tracing
 from ..ioutil import atomic_write_json, read_json, read_json_checked
 from ..resilience import faults
 from ..resilience.checkpoint import latest_lag_s, take_report
-from ..resilience.errors import RESILIENCE_COUNTERS, ReproError, error_from_kind
+from ..resilience.errors import (
+    RESILIENCE_COUNTERS,
+    RankCrash,
+    ReproError,
+    error_from_kind,
+)
 from .jobs import Job, JobSpec, JobState, run_job
 from .registry import PlanRegistry
 from .store import ResultStore
@@ -669,7 +674,9 @@ class Scheduler:
         return payload["result"], report
 
     def _on_failure(self, job: Job, attempt: int, exc: Exception) -> None:
-        crashed = isinstance(exc, WorkerCrash)
+        # A dead rank process is a crash like a dead worker: the retry
+        # resumes the surviving ranks' checkpoints through the marker.
+        crashed = isinstance(exc, (WorkerCrash, RankCrash))
         retryable = attempt <= job.spec.max_retries
         if isinstance(exc, ReproError) and not exc.retryable:
             # Deterministic failures (diverged solve, checkpoint token

@@ -206,6 +206,27 @@ def checkpoint_resumes() -> Counter:
                            "Solves resumed from a checkpoint snapshot")
 
 
+def cluster_ranks() -> Gauge:
+    return METRICS.gauge("cluster_ranks",
+                         "Rank processes of the most recent distributed solve")
+
+
+def cluster_halo_bytes() -> Counter:
+    return METRICS.counter("cluster_halo_bytes_total",
+                           "Halo bytes exchanged by distributed solves",
+                           labelnames=("axis",))
+
+
+def cluster_halo_messages() -> Counter:
+    return METRICS.counter("cluster_halo_messages_total",
+                           "Halo messages exchanged by distributed solves")
+
+
+def cluster_rank_failures() -> Counter:
+    return METRICS.counter("cluster_rank_failures_total",
+                           "Rank processes that died mid-solve")
+
+
 def batch_occupancy() -> Gauge:
     return METRICS.gauge(
         "batch_lane_occupancy",

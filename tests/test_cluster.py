@@ -7,10 +7,14 @@ import pytest
 
 from repro.cluster import (
     CommCostModel,
+    CommStats,
     DistributedTHIIM,
     RankLayout,
+    candidate_layouts,
     choose_decomposition,
+    step_bytes_by_axis,
 )
+from repro.cluster.decomposition import _split
 from repro.fdfd import FieldState, Grid, naive_sweep, random_coefficients
 
 from conftest import random_state
@@ -153,3 +157,93 @@ class TestDistributedEqualsGlobal:
         dist = DistributedTHIIM(layout, FieldState(grid), random_coefficients(grid))
         with pytest.raises(ValueError):
             dist.step(-1)
+
+
+class TestSplitEdges:
+    @pytest.mark.parametrize("n,parts", [(13, 3), (8, 4), (9, 2), (2, 1)])
+    def test_contiguous_exact_partition(self, n, parts):
+        ranges = _split(n, parts)
+        assert len(ranges) == parts
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+        sizes = {b - a for a, b in ranges}
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_remainder_goes_to_leading_ranks(self):
+        assert _split(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    @pytest.mark.parametrize("dims", [(2, 1, 1), (1, 2, 1), (1, 1, 2)])
+    def test_thin_domains_raise(self, dims):
+        # 3 cells on the split axis would leave one rank a 1-cell slab,
+        # too thin to host a ghost ring.
+        grid = Grid(nz=3, ny=3, nx=3)
+        with pytest.raises(ValueError, match="cannot feed"):
+            RankLayout(grid, *dims)
+
+
+class TestCommStats:
+    def test_record_validates_axis(self):
+        stats = CommStats()
+        with pytest.raises(ValueError):
+            stats.record(3, 128)
+        stats.record(1, 128)
+        assert stats.bytes_by_axis == {0: 0, 1: 128, 2: 0}
+        assert stats.messages == 1 and stats.bytes_total == 128
+
+    def test_merge_accumulates_and_returns_self(self):
+        a, b = CommStats(), CommStats()
+        a.record(0, 100)
+        b.record(0, 10)
+        b.record(2, 5)
+        out = a.merge(b)
+        assert out is a
+        assert a.messages == 3 and a.bytes_total == 115
+        assert a.bytes_by_axis == {0: 110, 1: 0, 2: 5}
+
+    def test_dict_round_trip(self):
+        stats = CommStats()
+        stats.record(2, 48)
+        stats.record(2, 48)
+        again = CommStats.from_dict(stats.to_dict())
+        assert again.messages == stats.messages
+        assert again.bytes_by_axis == stats.bytes_by_axis
+
+
+class TestCandidateLayouts:
+    def test_sorted_by_model_cost_and_pick_is_first(self):
+        grid = Grid(nz=24, ny=12, nx=12)
+        ranked = candidate_layouts(grid, 4)
+        costs = [c for c, _ in ranked]
+        assert costs == sorted(costs)
+        assert ranked[0][1] == choose_decomposition(grid, 4)
+        assert all(layout.n_ranks == 4 for _, layout in ranked)
+
+    def test_infeasible_count_raises(self):
+        with pytest.raises(ValueError):
+            candidate_layouts(Grid(nz=3, ny=3, nx=3), 64)
+
+    def test_x_halo_bytes_match_cost_model(self):
+        """The non-contiguous x halo's byte count: 6 arrays per half
+        step per internal face, complex128 -- measured traffic of the
+        simulated ranks equals the model's per-step figure exactly."""
+        grid = Grid(nz=8, ny=8, nx=10)
+        layout = RankLayout(grid, 1, 1, 2)
+        expected = step_bytes_by_axis(layout)
+        assert expected[2] == 2 * 6 * 8 * 8 * 16  # both directions
+        dist = DistributedTHIIM(layout, random_state(grid, seed=46),
+                                random_coefficients(grid, seed=45))
+        steps = 3
+        dist.step(steps)
+        assert dist.stats.bytes_by_axis[2] == steps * expected[2]
+        assert dist.stats.bytes_by_axis[0] == dist.stats.bytes_by_axis[1] == 0
+
+    def test_bytes_by_axis_covers_every_internal_face(self):
+        grid = Grid(nz=20, ny=10, nx=10, periodic=(False, True, True))
+        layout = RankLayout(grid, 2, 2, 1)
+        expected = step_bytes_by_axis(layout)
+        dist = DistributedTHIIM(layout, random_state(grid, seed=56),
+                                random_coefficients(grid, seed=55))
+        dist.step(2)
+        assert dist.stats.bytes_by_axis == {a: 2 * b
+                                            for a, b in expected.items()}

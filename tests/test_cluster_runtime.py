@@ -1,0 +1,185 @@
+"""Tests for the real-multiprocess distributed runtime: bit-identity of
+rank-decomposed solves with the single-domain sweep, halo accounting
+against the cost model, the ``kind="distributed"`` job path, and
+rank-crash resume through the scheduler."""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.cluster import RankLayout, step_bytes_by_axis
+from repro.cluster.runtime import run_distributed
+from repro.fdfd import ALL_COMPONENTS, Grid, PlaneWaveSource, PMLSpec, THIIMSolver
+from repro.fdfd.presets import preset_scene
+from repro.service.jobs import JobSpec, run_job
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    for var in ("REPRO_FAULTS", "REPRO_CHECKPOINT_EVERY",
+                "REPRO_CHECKPOINT_DIR", "REPRO_CLUSTER_TRANSPORT"):
+        monkeypatch.delenv(var, raising=False)
+
+
+def _make_solver(n=10, periodic=(False, True, True)):
+    """The served-solve geometry (untiled): z doubled, absorber scene."""
+    nz = 2 * n
+    grid = Grid(nz=nz, ny=n, nx=n, periodic=periodic)
+    return THIIMSolver(
+        grid, 2 * np.pi / 12.0, scene=preset_scene("absorber", nz),
+        source=PlaneWaveSource(z_plane=max(nz // 8, 12), z_width=2.0),
+        pml={"z": PMLSpec(thickness=max(nz // 10, 6))},
+    )
+
+
+class TestRunDistributed:
+    def test_one_rank_equals_plain_solver(self):
+        """A 1x1x1 layout is the scalar solve, object for object."""
+        scalar = _make_solver().solve(tol=1e-12, max_steps=60)
+        solver = _make_solver()
+        layout = RankLayout(solver.grid, 1, 1, 1)
+        result, info = run_distributed(layout, solver, tol=1e-12,
+                                       max_steps=60)
+        assert result.iterations == scalar.iterations
+        assert result.residual == scalar.residual
+        assert result.converged == scalar.converged
+        assert result.residual_history == scalar.residual_history
+        for name in ALL_COMPONENTS:
+            assert np.array_equal(result.fields[name], scalar.fields[name])
+        assert info["ranks"] == 1 and len(info["pids"]) == 1
+
+    @pytest.mark.parametrize("dims", [(2, 1, 1), (1, 2, 1), (1, 1, 2),
+                                      (2, 2, 1)])
+    def test_bitwise_equality_real_processes(self, dims):
+        scalar = _make_solver().solve(tol=1e-12, max_steps=60)
+        solver = _make_solver()
+        layout = RankLayout(solver.grid, *dims)
+        result, info = run_distributed(layout, solver, tol=1e-12,
+                                       max_steps=60)
+        # Real OS processes, not threads: distinct child pids.
+        assert len(set(info["pids"])) == layout.n_ranks
+        assert os.getpid() not in info["pids"] or layout.n_ranks == 1
+        assert result.residual_history == scalar.residual_history
+        for name in ALL_COMPONENTS:
+            assert np.array_equal(result.fields[name], scalar.fields[name])
+
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_both_transports_bit_identical(self, transport, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_TRANSPORT", transport)
+        scalar = _make_solver().solve(tol=1e-12, max_steps=40)
+        solver = _make_solver()
+        result, info = run_distributed(RankLayout(solver.grid, 2, 1, 1),
+                                       solver, tol=1e-12, max_steps=40)
+        assert info["transport"] == ("shm" if transport == "shm" else "pipe")
+        for name in ALL_COMPONENTS:
+            assert np.array_equal(result.fields[name], scalar.fields[name])
+
+    def test_halo_bytes_match_cost_model(self):
+        solver = _make_solver()
+        layout = RankLayout(solver.grid, 2, 2, 1)
+        _, info = run_distributed(layout, solver, tol=1e-12, max_steps=40)
+        expected = step_bytes_by_axis(layout)
+        measured = info["halo"]["bytes_by_axis"]  # JSON-safe string keys
+        assert measured == {str(a): 40 * b for a, b in expected.items()}
+
+    def test_mismatched_solver_rejected(self):
+        solver = _make_solver()
+        other = Grid(nz=24, ny=12, nx=12)
+        with pytest.raises(ValueError):
+            run_distributed(RankLayout(other, 2, 1, 1), solver,
+                            tol=1e-6, max_steps=20)
+        # Same shape, different periodicity: also rejected (ghost
+        # clipping depends on it).
+        twisted = Grid(nz=solver.grid.nz, ny=solver.grid.ny,
+                       nx=solver.grid.nx, periodic=(False, False, False))
+        with pytest.raises(ValueError):
+            run_distributed(RankLayout(twisted, 2, 1, 1), solver,
+                            tol=1e-6, max_steps=20)
+
+
+class TestDistributedJobSpec:
+    def test_requires_ranks(self):
+        with pytest.raises(ValueError, match="ranks"):
+            JobSpec(kind="distributed", grid=10)
+
+    def test_ranks_only_for_distributed(self):
+        with pytest.raises(ValueError, match="ranks"):
+            JobSpec(kind="solve", grid=10, ranks="2")
+
+    def test_distributed_must_be_untiled(self):
+        with pytest.raises(ValueError, match="tiled"):
+            JobSpec(kind="distributed", grid=10, ranks="2", tiled=True)
+
+    @pytest.mark.parametrize("bad", ["0", "2x2", "axb", "-1", "2x2x0"])
+    def test_bad_ranks_rejected(self, bad):
+        with pytest.raises(ValueError):
+            JobSpec(kind="distributed", grid=10, ranks=bad)
+
+    def test_ranks_canonicalized(self):
+        spec = JobSpec(kind="distributed", grid=10, ranks=" 2X2x1 ")
+        assert spec.ranks == "2x2x1"
+
+    def test_identity_omits_ranks_when_none(self):
+        """Pre-existing solve job ids must not shift."""
+        spec = JobSpec(kind="solve", grid=10)
+        assert "ranks" not in spec.identity()
+
+    def test_job_ids_namespaced_by_layout(self):
+        a = JobSpec(kind="distributed", grid=10, ranks="2x1x1")
+        b = JobSpec(kind="distributed", grid=10, ranks="1x2x1")
+        plain = JobSpec(kind="solve", grid=10)
+        assert len({a.job_id, b.job_id, plain.job_id}) == 3
+
+    def test_single_domain_spec(self):
+        spec = JobSpec(kind="distributed", grid=10, ranks="2x2x1")
+        plain = spec.single_domain_spec()
+        assert plain.kind == "solve" and plain.ranks is None
+        assert plain.grid == spec.grid and plain.tol == spec.tol
+
+
+class TestDistributedJobs:
+    @pytest.mark.parametrize("ranks", ["2x1x1", "2"])
+    def test_run_job_matches_single_domain(self, ranks):
+        spec = JobSpec(kind="distributed", preset="absorber", grid=10,
+                       tol=1e-12, max_steps=60, ranks=ranks)
+        assert run_job(spec) == run_job(spec.single_domain_spec())
+
+    def test_infeasible_layout_raises(self):
+        # 10-cell axes cannot host 8 ranks on one axis.
+        spec = JobSpec(kind="distributed", grid=10, ranks="1x8x1",
+                       tol=1e-6, max_steps=20)
+        with pytest.raises(ValueError):
+            run_job(spec)
+
+
+class TestRankCrashResume:
+    def test_scheduler_resumes_bit_identical(self, monkeypatch):
+        """Seeded kill of one rank mid-solve: the scheduler retry
+        restores the group checkpoint and reproduces the clean bytes."""
+        from repro.resilience import FaultPlan
+        from repro.service import Scheduler
+        from repro.service.jobs import JobState
+
+        spec = JobSpec(kind="distributed", preset="absorber", grid=10,
+                       tol=1e-12, max_steps=120, max_retries=2,
+                       ranks="2x1x1")
+        clean = run_job(spec)
+
+        plan = FaultPlan.seeded(7, "cluster.rank.1", "crash", max_after=4)
+        monkeypatch.setenv("REPRO_FAULTS", plan.env_value())
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "40")
+        ckpt_dir = tempfile.mkdtemp(prefix="repro-test-rank-crash-")
+        sched = Scheduler(workers=1, mode="process", retry_base_s=0.001,
+                          checkpoint_dir=ckpt_dir).start()
+        try:
+            job = sched.submit(spec)
+            sched.wait(job.id, timeout=300.0)
+        finally:
+            sched.stop()
+        assert job.state == JobState.DONE, job.error
+        assert sched.n_crashes >= 1
+        assert job.attempts >= 2
+        assert job.resumed_from == 40
+        assert job.result == clean
