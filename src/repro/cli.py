@@ -14,8 +14,14 @@ Fourteen subcommands cover the library's workflows::
     repro campaign --preset tandem --wavelengths 10:16:0.5 --batch
     repro tail     <job-id> --url http://127.0.0.1:8642
     repro top      --url http://127.0.0.1:8642
+    repro fleet    serve --spawn 3 --port 8640
     repro chaos    --scenario crash-resume --seed 7
     repro env
+
+``repro fleet`` is the multi-node tier: ``fleet serve`` runs a
+consistent-hash gateway over N ``repro serve`` nodes (``--spawn N``
+launches a local fleet), ``fleet status`` prints per-node liveness and
+the shard-map version, and ``fleet spawn`` just launches nodes.
 
 ``serve``/``submit``/``campaign`` are the solve service (see
 :mod:`repro.service`): a job scheduler + persistent plan registry behind
@@ -199,7 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--scenario",
                     choices=("crash-resume", "batch-resume", "rank-crash",
-                             "corrupt-registry", "corrupt-store", "all"),
+                             "node-crash", "corrupt-registry",
+                             "corrupt-store", "all"),
                     default="all")
     ch.add_argument("--seed", type=int, default=0,
                     help="derives the injection point (crash-resume)")
@@ -218,6 +225,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rank processes to factor into a PZxPYxPX grid")
     cl.add_argument("--json", action="store_true",
                     help="emit the ranked table as JSON instead of text")
+
+    fl = sub.add_parser(
+        "fleet",
+        help="multi-node serving: a consistent-hash gateway over N nodes",
+    )
+    flsub = fl.add_subparsers(dest="fleet_command", required=True)
+    fls = flsub.add_parser(
+        "serve", help="run the gateway (optionally spawning local nodes)")
+    fls.add_argument("--host", default="127.0.0.1")
+    fls.add_argument("--port", type=int, default=8640,
+                     help="gateway listen port (0 = ephemeral)")
+    fls.add_argument("--nodes", default=None, metavar="URL,URL,...",
+                     help="base URLs of running repro serve nodes")
+    fls.add_argument("--spawn", type=int, default=0, metavar="N",
+                     help="spawn N local serve nodes on ephemeral ports "
+                          "(torn down with the gateway)")
+    fls.add_argument("--workers", type=int, default=2,
+                     help="workers per spawned node")
+    fls.add_argument("--mode", choices=("thread", "process"),
+                     default="process", help="worker mode of spawned nodes")
+    fls.add_argument("--heartbeat", type=float, default=None,
+                     metavar="SECONDS",
+                     help="node heartbeat cadence "
+                          "(default: REPRO_FLEET_HEARTBEAT)")
+    fls.add_argument("--node-timeout", type=float, default=60.0,
+                     metavar="SECONDS",
+                     help="per-request timeout when forwarding to a node")
+    flst = flsub.add_parser(
+        "status", help="one-shot fleet health + shard-map snapshot")
+    flst.add_argument("--url", default="http://127.0.0.1:8640",
+                      help="gateway base URL")
+    flst.add_argument("--json", action="store_true")
+    flsp = flsub.add_parser(
+        "spawn", help="spawn N local serve nodes and print their URLs")
+    flsp.add_argument("-n", "--count", type=int, default=3)
+    flsp.add_argument("--workers", type=int, default=2)
+    flsp.add_argument("--mode", choices=("thread", "process"),
+                      default="process")
 
     sb = sub.add_parser("submit", help="submit a job to a running service")
     sb.add_argument("--url", default="http://127.0.0.1:8642")
@@ -688,11 +733,19 @@ def _cmd_serve(args) -> int:
     import signal
     import threading
 
+    import uuid
+
     from . import config
     from .service import PlanRegistry, ResultStore, Scheduler, make_server
 
-    registry = PlanRegistry(args.registry or config.registry_dir())
-    store = ResultStore(args.results or config.result_dir())
+    # One node identity for the whole process: the HTTP layer reports it
+    # (/healthz, X-Repro-Node) and persisted artifacts carry it as
+    # provenance, so a fleet's shards stay attributable.
+    node_id = config.node_id() or uuid.uuid4().hex[:12]
+    registry = PlanRegistry(args.registry or config.registry_dir(),
+                            node_id=node_id)
+    store = ResultStore(args.results or config.result_dir(),
+                        node_id=node_id)
     sched = Scheduler(
         workers=args.workers, queue_size=args.queue_size,
         registry=registry, store=store, mode=args.mode,
@@ -704,7 +757,8 @@ def _cmd_serve(args) -> int:
         if restored:
             print(f"restored {restored} queued job(s) from {queue_file}",
                   flush=True)
-    server = make_server(sched, host=args.host, port=args.port)
+    server = make_server(sched, host=args.host, port=args.port,
+                         node_id=node_id)
 
     def _on_signal(signum, frame):
         # Flip /healthz to draining and unwind serve_forever.  shutdown()
@@ -718,7 +772,8 @@ def _cmd_serve(args) -> int:
         for sig in (signal.SIGTERM, signal.SIGINT)
     }
     print(f"repro service on http://{args.host}:{server.server_port} "
-          f"({args.workers} {args.mode} workers, queue {args.queue_size}, "
+          f"(node {node_id}, {args.workers} {args.mode} workers, "
+          f"queue {args.queue_size}, "
           f"registry {registry.root or 'in-memory'})", flush=True)
     try:
         server.serve_forever()
@@ -741,6 +796,115 @@ def _cmd_serve(args) -> int:
     if spooled:
         line += f"; spooled {spooled} queued job(s) -> {queue_file}"
     print(f"shutdown: {line}", flush=True)
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    return {
+        "serve": _cmd_fleet_serve,
+        "status": _cmd_fleet_status,
+        "spawn": _cmd_fleet_spawn,
+    }[args.fleet_command](args)
+
+
+def _cmd_fleet_serve(args) -> int:
+    import signal
+    import threading
+
+    from . import telemetry
+    from .fleet import NodeRegistry, make_gateway, spawn_local_fleet
+
+    urls = [u.strip().rstrip("/")
+            for u in (args.nodes or "").split(",") if u.strip()]
+    spawned = []
+    if args.spawn:
+        spawned = spawn_local_fleet(args.spawn, workers=args.workers,
+                                    mode=args.mode)
+        for node in spawned:
+            print(f"spawned {node.node_id} -> {node.url} "
+                  f"(pid {node.proc.pid})", flush=True)
+        urls += [node.url for node in spawned]
+    if not urls:
+        print("fleet serve: no nodes (use --nodes URL,... and/or --spawn N)")
+        return 2
+    telemetry.enable()
+    registry = NodeRegistry(urls, interval_s=args.heartbeat)
+    registry.check_once()  # learn node ids before the first request
+    registry.start()
+    gateway = make_gateway(registry, host=args.host, port=args.port,
+                           node_timeout_s=args.node_timeout)
+
+    def _on_signal(signum, frame):
+        threading.Thread(target=gateway.shutdown, daemon=True).start()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    alive = len(registry.alive_urls())
+    print(f"repro fleet gateway on http://{args.host}:{gateway.server_port} "
+          f"({alive}/{len(urls)} node(s) alive, shard map "
+          f"v{registry.version}, {registry.replicas} owners/key)", flush=True)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    registry.stop()
+    gateway.server_close()
+    for node in spawned:
+        node.terminate()
+    line = f"; stopped {len(spawned)} spawned node(s)" if spawned else ""
+    print(f"fleet gateway shut down{line}", flush=True)
+    return 0
+
+
+def _cmd_fleet_status(args) -> int:
+    import json as _json
+
+    status, health = _http_json("GET", f"{args.url}/healthz")
+    if status != 200:
+        print(f"fleet status failed ({status}): {health.get('error')}")
+        return 2
+    if args.json:
+        print(_json.dumps(health, indent=2, sort_keys=True))
+        return 0
+    print(f"repro fleet -- {args.url}")
+    print(f"shard map v{health.get('shard_version')}, "
+          f"{health.get('alive')}/{len(health.get('nodes') or [])} "
+          f"node(s) alive, {health.get('replicas')} owners/key"
+          + ("" if health.get("ok") else "  [NO LIVE NODES]"))
+    print(f"{'url':<28} {'node_id':<14} {'state':>6} {'flags'}")
+    for node in health.get("nodes") or []:
+        flags = ",".join(f for f in
+                         ("stale" if node.get("stale") else "",
+                          "split-brain" if node.get("split_brain") else "")
+                         if f) or "-"
+        print(f"{node['url']:<28} {str(node.get('node_id')):<14} "
+              f"{node['state']:>6} {flags}")
+    return 0
+
+
+def _cmd_fleet_spawn(args) -> int:
+    import time
+
+    from .fleet import spawn_local_fleet
+
+    nodes = spawn_local_fleet(args.count, workers=args.workers,
+                              mode=args.mode)
+    for node in nodes:
+        print(f"{node.node_id} {node.url} pid {node.proc.pid}", flush=True)
+    print("--nodes " + ",".join(node.url for node in nodes), flush=True)
+    print("Ctrl-C stops the nodes", flush=True)
+    try:
+        while any(node.alive for node in nodes):
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    for node in nodes:
+        node.terminate()
     return 0
 
 
@@ -1065,33 +1229,66 @@ def _cmd_top(args) -> int:
         return 2
     _, jobs_doc = _http_json("GET", f"{args.url}/jobs")
     jobs = jobs_doc.get("jobs") or []
+    health_status, health = _http_json("GET", f"{args.url}/healthz")
+    if health_status != 200:
+        health = {}
     if args.json:
-        print(_json.dumps({"metrics": metrics, "jobs": jobs},
+        print(_json.dumps({"metrics": metrics, "jobs": jobs,
+                           "healthz": health},
                           indent=2, sort_keys=True))
         return 0
-    sched = metrics.get("scheduler") or {}
-    states = sched.get("states") or {}
-    tele = metrics.get("telemetry") or {}
     print(f"repro top -- {args.url}")
-    print(f"workers {sched.get('workers')} ({sched.get('mode')}), "
-          f"queue {states.get('queued', 0)} queued / "
-          f"{states.get('running', 0)} running / "
-          f"{states.get('done', 0)} done / {states.get('failed', 0)} failed"
-          + (" [draining]" if sched.get("draining") else ""))
-    sweeps = _telemetry_value(tele, "solver_sweeps_per_second")
-    mlups = _telemetry_value(tele, "solver_mlups")
-    if sweeps is not None or mlups is not None:
-        print(f"last solve: {sweeps or 0:.1f} sweeps/s, "
-              f"{mlups or 0:.2f} MLUP/s")
-    reg = metrics.get("registry") or {}
-    lookups = reg.get("hits", 0) + reg.get("misses", 0)
-    ratio = reg.get("hits", 0) / lookups if lookups else 0.0
-    print(f"plan registry: {reg.get('hits', 0)} hits / "
-          f"{reg.get('misses', 0)} misses ({100 * ratio:.0f}% hit rate); "
-          f"store {metrics.get('store', {}).get('entries', 0)} result(s)")
-    events = _telemetry_value(tele, "progress_events_total")
-    if events is not None:
-        print(f"progress events published: {events:.0f}")
+    if health.get("role") == "gateway":
+        # A fleet gateway: per-node rollups instead of one scheduler.
+        print(f"fleet gateway: shard map v{health.get('shard_version')}, "
+              f"{health.get('alive')}/{len(health.get('nodes') or [])} "
+              f"node(s) alive")
+        flags = {n["url"]: n for n in health.get("nodes") or []}
+        for url, rollup in (metrics.get("nodes") or {}).items():
+            sched = rollup.get("scheduler") or {}
+            states = sched.get("states") or {}
+            node = flags.get(url, {})
+            marks = [m for m in ("stale", "split_brain") if node.get(m)]
+            print(f"  {node.get('node_id') or url}: "
+                  f"workers {sched.get('workers')} ({sched.get('mode')}), "
+                  f"{states.get('queued', 0)} queued / "
+                  f"{states.get('running', 0)} running / "
+                  f"{states.get('done', 0)} done / "
+                  f"{states.get('failed', 0)} failed"
+                  + (f" [{', '.join(marks)}]" if marks else ""))
+        for url in (health.get("stale") or []):
+            if url not in (metrics.get("nodes") or {}):
+                print(f"  {url}: stale (no rollup)")
+    else:
+        sched = metrics.get("scheduler") or {}
+        states = sched.get("states") or {}
+        tele = metrics.get("telemetry") or {}
+        if health.get("node_id"):
+            version = health.get("shard_version")
+            print(f"node {health['node_id']}"
+                  + (f", shard map v{version}" if version is not None
+                     else " (no fleet gateway seen)"))
+        print(f"workers {sched.get('workers')} ({sched.get('mode')}), "
+              f"queue {states.get('queued', 0)} queued / "
+              f"{states.get('running', 0)} running / "
+              f"{states.get('done', 0)} done / "
+              f"{states.get('failed', 0)} failed"
+              + (" [draining]" if sched.get("draining") else ""))
+        sweeps = _telemetry_value(tele, "solver_sweeps_per_second")
+        mlups = _telemetry_value(tele, "solver_mlups")
+        if sweeps is not None or mlups is not None:
+            print(f"last solve: {sweeps or 0:.1f} sweeps/s, "
+                  f"{mlups or 0:.2f} MLUP/s")
+        reg = metrics.get("registry") or {}
+        lookups = reg.get("hits", 0) + reg.get("misses", 0)
+        ratio = reg.get("hits", 0) / lookups if lookups else 0.0
+        print(f"plan registry: {reg.get('hits', 0)} hits / "
+              f"{reg.get('misses', 0)} misses ({100 * ratio:.0f}% hit "
+              f"rate); store {metrics.get('store', {}).get('entries', 0)} "
+              f"result(s)")
+        events = _telemetry_value(tele, "progress_events_total")
+        if events is not None:
+            print(f"progress events published: {events:.0f}")
     if jobs:
         print(f"{'job':<26} {'state':>9} {'attempts':>8}  trace")
         for j in jobs[-10:]:
@@ -1338,6 +1535,99 @@ def _chaos_rank_crash(seed: int, grid: int):
                               checksum=clean["checksum"])
 
 
+def _chaos_node_crash(seed: int, grid: int):
+    """SIGKILL one node of a live 3-node fleet mid-campaign; prove the
+    gateway fails the victim's shard over to the replica, bumps the
+    shard-map version, and every point of the campaign completes with a
+    result bit-identical to a direct single-node run -- exactly once per
+    unique spec (content-addressed ids + store dedup)."""
+    import threading
+    import time
+
+    from . import telemetry
+    from .fleet import DEAD, NodeRegistry, make_gateway, spawn_local_fleet
+    from .service.jobs import JobSpec, run_job
+
+    telemetry.enable()
+    wavelengths = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+    base = dict(kind="solve", preset="vacuum", grid=grid, tol=1e-4,
+                max_steps=20)
+    specs = [JobSpec.from_dict(dict(base, wavelength=w))
+             for w in wavelengths]
+    neutral = dict(REPRO_FAULTS=None, REPRO_CHECKPOINT_EVERY=None,
+                   REPRO_CHECKPOINT_DIR=None)
+    with _patched_env(**neutral):
+        clean = {s.job_id: run_job(s) for s in specs}
+        nodes = spawn_local_fleet(3, workers=1, mode="thread")
+    registry = NodeRegistry([n.url for n in nodes], dead_after=1,
+                            timeout_s=10.0, interval_s=0.5)
+    registry.check_once()
+    gateway = make_gateway(registry, port=0, node_timeout_s=60.0)
+    gw_thread = threading.Thread(target=gateway.serve_forever, daemon=True)
+    gw_thread.start()
+    base_url = f"http://127.0.0.1:{gateway.server_port}"
+    try:
+        # The victim is the home node of a seeded campaign point, so the
+        # kill provably lands on a shard with in-flight ownership.
+        chosen = specs[seed % len(specs)]
+        victim_url = gateway.router.home(chosen.job_id)
+        victim = next(n for n in nodes if n.url == victim_url)
+        v0 = registry.version
+        telemetry.fleet_failovers()  # create the series before reading it
+        failovers0 = telemetry.METRICS.get_value("fleet_failovers_total")
+
+        # First half of the campaign lands while all 3 nodes are up.
+        first, second = specs[: len(specs) // 2], specs[len(specs) // 2:]
+        for s in first:
+            status, doc = _http_json("POST", f"{base_url}/jobs",
+                                     payload=s.to_dict())
+            assert status == 202, f"submit failed: {status} {doc}"
+        for s in first:
+            _poll_job(base_url, s.job_id, timeout=120.0)
+
+        victim.kill()  # SIGKILL mid-campaign: no drain, state gone
+        print(f"  killed {victim.node_id} ({victim_url}) "
+              f"mid-campaign (seed {seed})")
+
+        for s in second:
+            status, doc = _http_json("POST", f"{base_url}/jobs",
+                                     payload=s.to_dict())
+            assert status == 202, f"submit failed: {status} {doc}"
+        docs = {s.job_id: _poll_job(base_url, s.job_id, timeout=120.0)
+                for s in specs}
+    finally:
+        gateway.shutdown()
+        gateway.server_close()
+        registry.stop()
+        for n in nodes:
+            n.kill()
+
+    mismatched = [jid for jid, doc in docs.items()
+                  if doc.get("result") != clean[jid]]
+    failovers = (telemetry.METRICS.get_value("fleet_failovers_total")
+                 - failovers0)
+    v1 = registry.version
+    victim_state = registry.node(victim_url).state
+    detail = {"seed": seed, "victim": victim.node_id,
+              "points": len(specs), "failovers": failovers,
+              "shard_version": [v0, v1], "victim_state": victim_state,
+              "mismatched": len(mismatched)}
+    if mismatched:
+        print(f"  MISMATCH: {len(mismatched)} point(s) differ from the "
+              "direct single-node run")
+        return False, dict(detail, bit_identical=False)
+    if victim_state != DEAD or v1 <= v0:
+        print("  the kill never bumped the shard map "
+              f"(v{v0} -> v{v1}, victim {victim_state})")
+        return False, dict(detail, bit_identical=True)
+    if failovers < 1:
+        print("  no failover was recorded despite the dead home node")
+        return False, dict(detail, bit_identical=True)
+    print(f"  all {len(specs)} campaign points bit-identical through the "
+          f"gateway; {failovers} failover(s), shard map v{v0} -> v{v1}")
+    return True, dict(detail, bit_identical=True)
+
+
 def _chaos_corrupt(which: str):
     """Scribble over a persisted artifact; prove it quarantines to
     ``*.corrupt`` and the recomputed result is identical."""
@@ -1395,6 +1685,7 @@ def _cmd_chaos(args) -> int:
         "crash-resume": lambda: _chaos_crash_resume(args.seed, args.grid),
         "batch-resume": lambda: _chaos_batch_resume(args.seed, args.grid),
         "rank-crash": lambda: _chaos_rank_crash(args.seed, args.grid),
+        "node-crash": lambda: _chaos_node_crash(args.seed, args.grid),
         "corrupt-registry": lambda: _chaos_corrupt("registry"),
         "corrupt-store": lambda: _chaos_corrupt("store"),
     }
@@ -1459,6 +1750,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "top": _cmd_top,
         "chaos": _cmd_chaos,
         "cluster": _cmd_cluster,
+        "fleet": _cmd_fleet,
         "env": _cmd_env,
     }
     trace_path = config.trace_path()

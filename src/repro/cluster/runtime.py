@@ -41,7 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import telemetry
+from .. import config, telemetry
 from ..core import tracing
 from ..fdfd.fields import FieldState
 from ..fdfd.kernels import update_component
@@ -136,6 +136,27 @@ def _rank_edges(layout: RankLayout, coord: Coord):
     return send, recv, selfs
 
 
+def _pin_rank(index: int) -> Optional[int]:
+    """Pin this rank to one CPU when ``REPRO_CLUSTER_PIN`` is set.
+
+    Round-robin over the CPUs the process may already use (respects any
+    outer cgroup/affinity mask).  Returns the pinned CPU id, or ``None``
+    when pinning is off or unsupported -- pinning is an optimization
+    hint, never a correctness requirement, so every failure is soft.
+    """
+    if not config.cluster_pin():
+        return None
+    try:
+        cpus = sorted(os.sched_getaffinity(0))
+        if not cpus:
+            return None
+        cpu = cpus[index % len(cpus)]
+        os.sched_setaffinity(0, {cpu})
+        return cpu
+    except (AttributeError, OSError):
+        return None
+
+
 def _rank_main(index: int, coord: Coord, layout: RankLayout, solver,
                transport, conn, attempt: int, trace_on: bool,
                ckpt_cfg: Optional[dict]) -> None:
@@ -143,6 +164,7 @@ def _rank_main(index: int, coord: Coord, layout: RankLayout, solver,
     faults.set_in_child(True)
     faults.set_attempt(attempt)
     telemetry.disable()
+    pinned_cpu = _pin_rank(index)
     rec = tracing.start_trace(None) if trace_on else None
     try:
         sub = layout.subdomain(coord)
@@ -227,7 +249,7 @@ def _rank_main(index: int, coord: Coord, layout: RankLayout, solver,
                 grid_meta, {n: rank.owned(n) for n in ALL_COMPONENTS})
 
         loaded = ckpt.load() if ckpt is not None else None
-        conn.send({"type": "hello", "pid": os.getpid(),
+        conn.send({"type": "hello", "pid": os.getpid(), "cpu": pinned_cpu,
                    "resumed": None if loaded is None else int(loaded.steps)})
         msg = conn.recv()
         if msg.get("type") != "begin":
@@ -464,6 +486,7 @@ def run_distributed(
             for coord in coords
         }
         pids = [int(hellos[c]["pid"]) for c in coords]
+        cpu_pins = [hellos[c].get("cpu") for c in coords]
 
         # Resume only when the marker and *every* rank snapshot agree on
         # the boundary; anything else restarts from sweep 0 (safe and
@@ -563,13 +586,13 @@ def run_distributed(
                         steps=steps, residual=float(res),
                         history_tail=[float(r) for r in history[-6:]])
                 return _finish(current, steps, res, False, history,
-                               layout, stats, pids, transport, resumed_from,
-                               saves)
+                               layout, stats, pids, cpu_pins, transport,
+                               resumed_from, saves)
             if res < tol:
                 stop_ranks()
                 return _finish(current, steps, res, True, history,
-                               layout, stats, pids, transport, resumed_from,
-                               saves)
+                               layout, stats, pids, cpu_pins, transport,
+                               resumed_from, saves)
             previous = current
             anchor = last_saved if last_saved is not None else (
                 resumed_from or 0)
@@ -598,7 +621,7 @@ def run_distributed(
         stop_ranks()
         final_res = history[-1] if history else float(np.inf)
         return _finish(current, steps, final_res, False, history, layout,
-                       stats, pids, transport, resumed_from, saves)
+                       stats, pids, cpu_pins, transport, resumed_from, saves)
     except RankCrash:
         if telemetry.enabled():
             telemetry.cluster_rank_failures().inc()
@@ -621,7 +644,8 @@ def run_distributed(
 
 def _finish(fields: FieldState, steps: int, res: float, converged: bool,
             history: List[float], layout: RankLayout, stats: CommStats,
-            pids: List[int], transport, resumed_from: Optional[int],
+            pids: List[int], cpu_pins: List[Optional[int]], transport,
+            resumed_from: Optional[int],
             saves: int) -> Tuple[SolveResult, Dict]:
     result = SolveResult(fields, steps, float(res), converged, list(history))
     info = {
@@ -633,4 +657,8 @@ def _finish(fields: FieldState, steps: int, res: float, converged: bool,
         "resumed_from": resumed_from,
         "saves": saves,
     }
+    if any(cpu is not None for cpu in cpu_pins):
+        # REPRO_CLUSTER_PIN was on and at least one rank pinned: surface
+        # the per-rank CPU ids (rank order) for benches and tests.
+        info["cpu_pins"] = cpu_pins
     return result, info

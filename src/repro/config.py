@@ -26,12 +26,16 @@ __all__ = [
     "FLAGS",
     "checkpoint_dir",
     "checkpoint_every",
+    "cluster_pin",
     "cluster_transport",
     "describe",
     "drain_timeout",
     "faults_schedule",
+    "fleet_heartbeat",
+    "http_timeout",
     "native_build_dir",
     "native_disabled",
+    "node_id",
     "queue_file",
     "registry_dir",
     "result_dir",
@@ -122,6 +126,25 @@ FLAGS: Dict[str, Flag] = {
             "REPRO_TELEMETRY", "(auto)", "bool",
             "metrics + progress events: 1 forces on, 0 vetoes even the "
             "serving stack, unset = on while serving only",
+        ),
+        Flag(
+            "REPRO_NODE_ID", "(generated)", "str",
+            "stable node identity reported by /healthz and the "
+            "X-Repro-Node header (unset = random per process)",
+        ),
+        Flag(
+            "REPRO_HTTP_TIMEOUT", "30", "float",
+            "per-request socket timeout of the serving layer; a stalled "
+            "client is disconnected after this many idle seconds",
+        ),
+        Flag(
+            "REPRO_CLUSTER_PIN", "(unset)", "bool",
+            "pin each distributed rank process to one CPU via "
+            "sched_setaffinity (any non-empty value enables)",
+        ),
+        Flag(
+            "REPRO_FLEET_HEARTBEAT", "1", "float",
+            "seconds between gateway heartbeat probes of fleet nodes",
         ),
     )
 }
@@ -223,6 +246,36 @@ def cluster_transport() -> str:
     (malformed values read as ``auto``)."""
     raw = (os.environ.get("REPRO_CLUSTER_TRANSPORT") or "auto").lower()
     return raw if raw in ("shm", "pipe", "auto") else "auto"
+
+
+def node_id() -> Optional[str]:
+    """The operator-pinned node identity, or ``None`` (generate one)."""
+    return os.environ.get("REPRO_NODE_ID") or None
+
+
+def http_timeout() -> float:
+    """Per-request socket timeout of the serving layer (seconds);
+    malformed or non-positive values fall back to 30s."""
+    try:
+        value = float(os.environ.get("REPRO_HTTP_TIMEOUT", "30"))
+    except ValueError:
+        return 30.0
+    return value if value > 0 else 30.0
+
+
+def cluster_pin() -> bool:
+    """True when distributed ranks should pin themselves to one CPU."""
+    raw = os.environ.get("REPRO_CLUSTER_PIN")
+    return bool(raw) and raw.lower() not in ("0", "off", "false", "no")
+
+
+def fleet_heartbeat() -> float:
+    """Gateway heartbeat cadence; malformed values fall back to 1s."""
+    try:
+        value = float(os.environ.get("REPRO_FLEET_HEARTBEAT", "1"))
+    except ValueError:
+        return 1.0
+    return value if value > 0 else 1.0
 
 
 def telemetry_mode() -> Optional[bool]:

@@ -1,0 +1,44 @@
+"""Fleet tier: N ``repro serve`` nodes behind one consistent-hash gateway.
+
+One job spans processes since the distributed runtime (PR 8); this
+package lets one *service* span nodes.  Job ids are already content
+hashes of the spec's computational fields, so sharding falls out of a
+consistent-hash ring over the node set: every plan-registry/result-store
+entry has a home node plus one replica, node-local dedup and
+single-flight tuning keep working (identical specs always route to the
+same home), and the gateway fails over to the replica when a node dies.
+
+* :mod:`~repro.fleet.ring` -- the consistent-hash ring (vnodes).
+* :mod:`~repro.fleet.nodes` -- membership, heartbeats, liveness and the
+  versioned shard map.
+* :mod:`~repro.fleet.router` -- candidate ordering + forwarding with
+  replica failover and ``NodeUnavailable`` when a shard is dark.
+* :mod:`~repro.fleet.gateway` -- the HTTP front door (``repro fleet
+  serve``): routed submits/lookups/cancels, scattered cross-shard
+  batches, proxied event streams, fleet-level ``/metrics``/``/healthz``.
+* :mod:`~repro.fleet.local` -- spawn a real local N-node fleet for
+  tests, chaos and benches.
+
+The contract that matters: any result fetched through the gateway is
+bit-identical to a direct single-node run of the same spec.
+"""
+
+from .gateway import FleetServer, make_gateway
+from .local import LocalNode, spawn_local_fleet
+from .nodes import ALIVE, DEAD, NodeInfo, NodeRegistry, ShardMap
+from .ring import HashRing
+from .router import Router
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "FleetServer",
+    "HashRing",
+    "LocalNode",
+    "NodeInfo",
+    "NodeRegistry",
+    "Router",
+    "ShardMap",
+    "make_gateway",
+    "spawn_local_fleet",
+]

@@ -1,0 +1,133 @@
+"""Spawn a local N-node fleet: real ``repro serve`` processes.
+
+Used by ``repro fleet serve --spawn N`` / ``repro fleet spawn``, the
+fleet E2E tests, the node-crash chaos scenario and
+``benchmarks/smoke_fleet.py``.  Each node is a genuine subprocess
+running ``python -m repro serve --port 0`` (ephemeral port, parsed from
+the startup banner), so killing one is real node death: the socket
+refuses, the gateway's router fails over, and in-memory state is gone --
+exactly the failure the fleet is built to absorb.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LocalNode", "spawn_local_fleet"]
+
+_BANNER = "repro service on "
+
+
+class LocalNode:
+    """One spawned ``repro serve`` subprocess and its base URL."""
+
+    def __init__(self, proc: subprocess.Popen, url: str, node_id: str):
+        self.proc = proc
+        self.url = url
+        self.node_id = node_id
+        # Keep draining stdout so the child never blocks on a full pipe.
+        self._drain = threading.Thread(target=self._drain_stdout,
+                                       daemon=True)
+        self._drain.start()
+
+    def _drain_stdout(self) -> None:
+        try:
+            for _ in self.proc.stdout:
+                pass
+        except (ValueError, OSError):
+            pass
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL: abrupt node death (no drain, no spool)."""
+        if self.alive:
+            try:
+                self.proc.kill()
+            except OSError:
+                pass
+        self.proc.wait(timeout=10)
+
+    def terminate(self) -> None:
+        """SIGTERM: the node drains gracefully before exiting."""
+        if self.alive:
+            try:
+                self.proc.send_signal(signal.SIGTERM)
+            except OSError:
+                pass
+        try:
+            self.proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+
+def _src_root() -> str:
+    """The directory containing the ``repro`` package (for PYTHONPATH)."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def spawn_local_fleet(n: int, *, workers: int = 1, mode: str = "thread",
+                      host: str = "127.0.0.1",
+                      extra_env: Optional[Dict[str, str]] = None,
+                      extra_args: Optional[List[str]] = None,
+                      startup_timeout_s: float = 30.0) -> List[LocalNode]:
+    """Start ``n`` independent serve nodes on ephemeral ports.
+
+    Each node gets a stable ``REPRO_NODE_ID`` of ``node<i>`` (visible in
+    ``/healthz`` and result provenance).  Raises ``RuntimeError`` --
+    after killing any nodes already up -- if a node fails to print its
+    startup banner in time.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root() + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env.update(extra_env or {})
+    nodes: List[LocalNode] = []
+    try:
+        for i in range(n):
+            node_env = dict(env, REPRO_NODE_ID=f"node{i}")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--host", host, "--port", "0",
+                 "--workers", str(workers), "--mode", mode,
+                 *(extra_args or [])],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, env=node_env)
+            url = _wait_for_banner(proc, startup_timeout_s)
+            nodes.append(LocalNode(proc, url, f"node{i}"))
+    except Exception:
+        for node in nodes:
+            node.kill()
+        raise
+    return nodes
+
+
+def _wait_for_banner(proc: subprocess.Popen, timeout_s: float) -> str:
+    deadline = time.monotonic() + timeout_s
+    lines: List[str] = []
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                "fleet node exited before startup: " + " | ".join(lines))
+        line = proc.stdout.readline()
+        if not line:
+            continue
+        lines.append(line.strip())
+        if _BANNER in line:
+            # "repro service on http://127.0.0.1:PORT (...)"
+            url = line.split(_BANNER, 1)[1].split()[0]
+            return url.rstrip("/")
+    proc.kill()
+    raise RuntimeError(
+        f"fleet node produced no startup banner within {timeout_s}s: "
+        + " | ".join(lines))

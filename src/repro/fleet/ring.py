@@ -1,0 +1,89 @@
+"""Consistent-hash ring assigning content-addressed keys to nodes.
+
+The fleet shards the plan registry and result store by the *job id* --
+already a SHA-256 content hash of a spec's computational fields -- so
+placement needs no extra bookkeeping: hashing the id onto a ring of
+virtual nodes gives every key a deterministic home node plus a replica,
+and adding or removing one node moves only ``~1/N`` of the key space
+(the classic consistent-hashing property, which is what keeps node-local
+plan registries and result stores warm across membership changes).
+
+The ring is deliberately tiny and immutable: membership changes build a
+new ring (the :class:`~repro.fleet.nodes.NodeRegistry` versions each
+rebuild as a shard-map bump).  Keys and member names are opaque strings;
+the fleet uses node base URLs as members because they are stable before
+a node's ``node_id`` has been learned from its first heartbeat.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per member: enough to keep the keyspace split within a
+#: few percent of even for single-digit fleets, small enough that ring
+#: construction stays microseconds.
+DEFAULT_VNODES = 64
+
+
+def _point(data: str) -> int:
+    """A ring position in [0, 2^64): the first 8 bytes of SHA-256."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of member names."""
+
+    def __init__(self, members: Iterable[str], vnodes: int = DEFAULT_VNODES):
+        self.members: Tuple[str, ...] = tuple(dict.fromkeys(members))
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        points: List[Tuple[int, str]] = []
+        for member in self.members:
+            for i in range(vnodes):
+                points.append((_point(f"{member}#{i}"), member))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [m for _, m in points]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def owners(self, key: str, n: int = 2) -> Tuple[str, ...]:
+        """The first ``n`` distinct members clockwise of ``key``.
+
+        ``owners(key)[0]`` is the home node, the rest are replicas in
+        preference order.  With fewer than ``n`` members every member is
+        returned (a 1-node fleet simply has no replica).
+        """
+        if not self.members:
+            return ()
+        n = min(n, len(self.members))
+        start = bisect.bisect_right(self._points, _point(key))
+        out: List[str] = []
+        for i in range(len(self._owners)):
+            member = self._owners[(start + i) % len(self._owners)]
+            if member not in out:
+                out.append(member)
+                if len(out) == n:
+                    break
+        return tuple(out)
+
+    def home(self, key: str) -> str:
+        """The home member of ``key`` (ring must be non-empty)."""
+        owners = self.owners(key, n=1)
+        if not owners:
+            raise ValueError("hash ring has no members")
+        return owners[0]
+
+    def assignment_counts(self, keys: Sequence[str]) -> dict:
+        """member -> how many of ``keys`` it homes (balance probes)."""
+        counts = {m: 0 for m in self.members}
+        for key in keys:
+            counts[self.home(key)] += 1
+        return counts

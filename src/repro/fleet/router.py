@@ -1,0 +1,167 @@
+"""Shard-aware request routing with replica failover.
+
+The router turns a content-addressed job id into an ordered list of
+candidate nodes (home first, then its replica -- both from the ring over
+*all* members, reordered so live nodes are tried first) and forwards an
+HTTP request down that list:
+
+* a **connection-level** failure (refused, reset, timed out socket) is
+  node death: the node is declared dead in the registry -- bumping the
+  shard-map version immediately -- a failover is counted, and the next
+  candidate is tried;
+* an **HTTP-level** response, success or error, is authoritative and
+  passed through verbatim (a 503 under backpressure or a 400 must reach
+  the client unchanged, not trigger a replica retry that could execute
+  a rejected job twice);
+* ``retry_404=True`` (lookups only) additionally tries the next owner on
+  404 -- after a failover the job may live on the replica -- returning
+  the first 404 only if every owner lacks the job.
+
+When every candidate is connection-dead the router raises
+:class:`~repro.resilience.errors.NodeUnavailable`, which the gateway
+maps to 503 + ``Retry-After`` (the taxonomy marks it retryable).
+
+Every forwarded request carries ``X-Repro-Shard-Version`` so nodes learn
+the fleet's current view (and ``/healthz`` can expose staleness), and
+responses' ``X-Repro-Node`` headers feed learned node ids back into the
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..resilience.errors import NodeUnavailable
+from .nodes import ALIVE, NodeRegistry
+
+__all__ = ["Router", "http_request"]
+
+#: Connection-level failures that mean "this node is gone" (URLError
+#: covers refused/unreachable; OSError covers reset/timeout sockets).
+_CONNECTION_ERRORS = (urllib.error.URLError, ConnectionError,
+                      TimeoutError, OSError)
+
+
+def http_request(method: str, url: str,
+                 payload: Optional[dict] = None,
+                 headers: Optional[Dict[str, str]] = None,
+                 timeout: float = 30.0) -> Tuple[int, dict, Dict[str, str]]:
+    """One JSON round trip -> ``(status, body, response_headers)``.
+
+    HTTP error statuses are returned, not raised; connection-level
+    failures propagate to the caller (the router's failover signal).
+    """
+    data = None
+    req_headers = dict(headers or {})
+    if payload is not None:
+        data = json.dumps(payload).encode()
+        req_headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=req_headers,
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read() or b"{}"), dict(
+                resp.headers)
+    except urllib.error.HTTPError as exc:
+        # The node answered: its status/body are the response.
+        try:
+            body = json.loads(exc.read() or b"{}")
+        except ValueError:
+            body = {"error": f"non-JSON {exc.code} response"}
+        return exc.code, body, dict(exc.headers or {})
+
+
+class Router:
+    """Routes content keys to their owning nodes, failing over on death."""
+
+    def __init__(self, registry: NodeRegistry, timeout_s: float = 30.0):
+        self.registry = registry
+        self.timeout_s = timeout_s
+
+    # -- placement -------------------------------------------------------------
+
+    def candidates(self, job_id: str) -> List[str]:
+        """Owner URLs of ``job_id``: [home, replica], live nodes first.
+
+        Placement comes from the full-membership ring (stable across
+        reboots); liveness only reorders, so a revived home node is
+        preferred again as soon as a heartbeat sees it.
+        """
+        smap = self.registry.shard_map()
+        owners = smap.owners(job_id)
+        states = {n["url"]: n["state"] for n in smap.nodes}
+        return sorted(owners, key=lambda u: states.get(u) != ALIVE)
+
+    def home(self, job_id: str) -> str:
+        return self.registry.shard_map().owners(job_id)[0]
+
+    def _headers(self, extra: Optional[Dict[str, str]] = None) -> dict:
+        headers = {"X-Repro-Shard-Version": str(self.registry.version)}
+        if extra:
+            headers.update(extra)
+        return headers
+
+    # -- forwarding ------------------------------------------------------------
+
+    def forward(self, method: str, path: str, job_id: str,
+                payload: Optional[dict] = None,
+                headers: Optional[Dict[str, str]] = None,
+                retry_404: bool = False) -> Tuple[int, dict, str]:
+        """Forward to the first owner that answers -> ``(status, body,
+        url)``; raises :class:`NodeUnavailable` when all owners are
+        connection-dead."""
+        first_404: Optional[Tuple[int, dict, str]] = None
+        urls = self.candidates(job_id)
+        last_error: Optional[Exception] = None
+        for i, url in enumerate(urls):
+            try:
+                status, body, _ = http_request(
+                    method, f"{url}{path}", payload=payload,
+                    headers=self._headers(headers), timeout=self.timeout_s)
+            except _CONNECTION_ERRORS as exc:
+                last_error = exc
+                self._note_death(url, failover=i + 1 < len(urls))
+                continue
+            if retry_404 and status == 404 and i + 1 < len(urls):
+                first_404 = (status, body, url)
+                continue
+            return status, body, url
+        if first_404 is not None:
+            return first_404
+        raise NodeUnavailable(
+            f"no live node owns shard of job {job_id[:12]}",
+            owners=urls, last_error=str(last_error))
+
+    def open_stream(self, path: str, job_id: str,
+                    headers: Optional[Dict[str, str]] = None,
+                    timeout: Optional[float] = None):
+        """Open a streaming GET against the first live owner ->
+        ``(response, url)`` (caller reads and closes)."""
+        urls = self.candidates(job_id)
+        last_error: Optional[Exception] = None
+        for i, url in enumerate(urls):
+            req = urllib.request.Request(
+                f"{url}{path}", headers=self._headers(headers))
+            try:
+                resp = urllib.request.urlopen(
+                    req, timeout=self.timeout_s if timeout is None
+                    else timeout)
+            except urllib.error.HTTPError as exc:
+                return exc, url  # HTTPError is a readable response
+            except _CONNECTION_ERRORS as exc:
+                last_error = exc
+                self._note_death(url, failover=i + 1 < len(urls))
+                continue
+            return resp, url
+        raise NodeUnavailable(
+            f"no live node owns shard of job {job_id[:12]}",
+            owners=urls, last_error=str(last_error))
+
+    def _note_death(self, url: str, failover: bool) -> None:
+        self.registry.mark_dead(url)
+        if telemetry.enabled() and failover:
+            telemetry.fleet_failovers().inc()

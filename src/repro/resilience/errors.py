@@ -29,6 +29,7 @@ __all__ = [
     "EngineUnavailable",
     "CheckpointMismatch",
     "InjectedFault",
+    "NodeUnavailable",
     "RankCrash",
     "ResilienceCounters",
     "RESILIENCE_COUNTERS",
@@ -108,13 +109,22 @@ class RankCrash(ReproError):
     http_status = 500
 
 
+class NodeUnavailable(ReproError):
+    """No live fleet node owns the requested shard: the home node and
+    its replica are both unreachable.  Transient -- heartbeats revive
+    nodes that come back, so the gateway answers 503 with a
+    ``Retry-After`` hint and clients should retry."""
+
+    http_status = 503
+
+
 #: Name -> class map used to rehydrate typed errors that crossed a
 #: process boundary as strings (forked-worker spool files).
 _TAXONOMY = {
     cls.__name__: cls
     for cls in (ReproError, SolverDiverged, CorruptArtifact,
                 EngineUnavailable, CheckpointMismatch, InjectedFault,
-                RankCrash)
+                RankCrash, NodeUnavailable)
 }
 
 

@@ -41,10 +41,17 @@ REGISTRY_VERSION = 1
 
 
 class PlanRegistry:
-    """Keyed, optionally persistent store of tuned points."""
+    """Keyed, optionally persistent store of tuned points.
 
-    def __init__(self, root: Optional[str] = None):
+    ``node_id`` (optional) stamps stored plans' ``meta`` with the node
+    that tuned them, so a sharded fleet's registries stay auditable
+    (``GET /registry`` shows which shard paid for which tune).
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 node_id: Optional[str] = None):
         self.root = root
+        self.node_id = node_id
         self._mem: Dict[str, Optional[dict]] = {}
         self._lock = threading.Lock()
         #: Single-flight guard: key -> Event while a tuner is in flight,
@@ -120,11 +127,14 @@ class PlanRegistry:
                 return None  # foreign/corrupt payload: treat as a miss
 
     def store(self, key: str, point, meta: Optional[Dict[str, Any]] = None) -> None:
+        meta = dict(meta or {})
+        if self.node_id and "node" not in meta:
+            meta["node"] = self.node_id
         doc = {
             "version": REGISTRY_VERSION,
             "key": key,
             "point": point_to_json(point),
-            "meta": meta or {},
+            "meta": meta,
         }
         with self._lock:
             self._mem[key] = doc

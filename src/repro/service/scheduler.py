@@ -368,8 +368,14 @@ class Scheduler:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, spec: JobSpec) -> Job:
-        """Queue a spec; dedups, serves from store, or rejects when full."""
+    def submit(self, spec: JobSpec,
+               trace_id: Optional[str] = None) -> Job:
+        """Queue a spec; dedups, serves from store, or rejects when full.
+
+        ``trace_id`` (optional) adopts a caller-minted trace id -- the
+        fleet gateway forwards its span's id over the HTTP hop so one
+        trace covers gateway routing and node-side execution.
+        """
         with self._cv:
             self.n_submitted += 1
             if telemetry.enabled():
@@ -383,6 +389,8 @@ class Scheduler:
                 return existing
             cached = self.store.get(spec.job_id)
             job = Job(spec)
+            if trace_id:
+                job.trace_id = trace_id
             if cached is not None:
                 job.state = JobState.DONE
                 job.result = cached

@@ -22,8 +22,22 @@ GET       ``/metrics``            Prometheus text exposition (format
 GET       ``/registry``           persistent plan-registry listing
 GET       ``/healthz``            liveness probe: ``ok``, ``draining``,
                                   ``queue_depth``, ``running``,
-                                  ``checkpoint_lag_s``
+                                  ``checkpoint_lag_s``, plus the stable
+                                  ``node_id`` and last-seen
+                                  ``shard_version`` (fleet membership)
 ========  ======================  =========================================
+
+Fleet plumbing: every response carries an ``X-Repro-Node`` header with
+the node's stable identity; a gateway's ``X-Repro-Shard-Version``
+request header is remembered and echoed through ``/healthz`` so the
+gateway (and ``repro top``) can spot stale or split-brain nodes, and an
+``X-Repro-Trace-Id`` header on submits threads the gateway's trace id
+into the job so one trace spans the HTTP hop.
+
+Each accepted connection gets a per-request socket timeout
+(``REPRO_HTTP_TIMEOUT``, default 30s) and the listen backlog is bounded,
+so a stalled or malicious client can neither wedge a handler thread
+forever nor queue unbounded connections.
 
 Typed failures (:class:`~repro.resilience.errors.ReproError`) escaping a
 handler map to their ``http_status`` with the error's JSON ``payload()``
@@ -44,7 +58,9 @@ import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from .. import telemetry
+import uuid
+
+from .. import config, telemetry
 from ..resilience import faults
 from ..resilience.checkpoint import latest_lag_s
 from ..resilience.errors import RESILIENCE_COUNTERS, ReproError
@@ -64,13 +80,27 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
     allow_reuse_address = True
+    #: Bounded listen backlog: beyond this many un-accepted connections
+    #: the kernel refuses, instead of queueing clients without limit.
+    request_queue_size = 32
 
-    def __init__(self, addr: Tuple[str, int], scheduler: Scheduler):
+    def __init__(self, addr: Tuple[str, int], scheduler: Scheduler,
+                 node_id: Optional[str] = None):
         super().__init__(addr, _Handler)
         self.scheduler = scheduler
         #: Flipped by the graceful-shutdown path (``repro serve`` on
         #: SIGTERM/SIGINT) so ``/healthz`` reports the drain.
         self.draining = False
+        #: Stable identity of this node (``REPRO_NODE_ID`` or random):
+        #: reported by ``/healthz`` and every ``X-Repro-Node`` header so
+        #: a gateway can tell a restarted process from a live one.
+        self.node_id = node_id or config.node_id() or uuid.uuid4().hex[:12]
+        #: Last shard-map version a gateway announced to us (``None``
+        #: until a gateway speaks); echoed through ``/healthz``.
+        self.shard_version: Optional[int] = None
+        #: Per-request socket timeout: a client that stops reading or
+        #: writing is disconnected after this many idle seconds.
+        self.request_timeout = config.http_timeout()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -79,14 +109,30 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing --------------------------------------------------------------
 
+    def setup(self) -> None:
+        # Per-request socket timeout *before* the stream wrappers exist:
+        # ``StreamRequestHandler.setup`` applies ``self.timeout`` to the
+        # connection, and ``handle_one_request`` treats a timed-out read
+        # as end-of-connection -- a stalled client frees its thread.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     def log_message(self, fmt, *args):  # quiet by default; tracing covers it
         pass
+
+    def _node_headers(self) -> None:
+        """Identity headers on every response (fleet membership probes)."""
+        self.send_header("X-Repro-Node", self.server.node_id)
+        if self.server.shard_version is not None:
+            self.send_header("X-Repro-Shard-Version",
+                             str(self.server.shard_version))
 
     def _send(self, code: int, payload) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._node_headers()
         self.end_headers()
         self.wfile.write(body)
 
@@ -122,6 +168,12 @@ class _Handler(BaseHTTPRequestHandler):
         :class:`ReproError` becomes its ``http_status`` + ``payload()``
         (the graceful-degradation chain's HTTP face)."""
         try:
+            announced = self.headers.get("X-Repro-Shard-Version")
+            if announced is not None:
+                try:
+                    self.server.shard_version = int(announced)
+                except ValueError:
+                    pass  # a malformed header never breaks the request
             faults.hit("http.request")
             handler()
         except ReproError as exc:
@@ -148,7 +200,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(400, {"error": f"invalid job spec: {exc}"})
             return
         try:
-            job = self._sched.submit(spec)
+            job = self._sched.submit(
+                spec, trace_id=self.headers.get("X-Repro-Trace-Id") or None)
         except QueueFullError as exc:
             self._send(503, {"error": exc.reason, "rejected": True})
             return
@@ -182,6 +235,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header("Content-Type",
                                  telemetry.PROMETHEUS_CONTENT_TYPE)
                 self.send_header("Content-Length", str(len(body)))
+                self._node_headers()
                 self.end_headers()
                 self.wfile.write(body)
         elif path == "/registry":
@@ -194,6 +248,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "queue_depth": self._sched.queue_depth(),
                 "running": self._sched.running_count(),
                 "checkpoint_lag_s": latest_lag_s(self._sched.checkpoint_dir),
+                "node_id": self.server.node_id,
+                "shard_version": self.server.shard_version,
             })
         else:
             self._send(404, {"error": f"no such endpoint: GET {path}"})
@@ -240,6 +296,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
+        self._node_headers()
         self.end_headers()
         hub = telemetry.PROGRESS
         cursor = -1
@@ -276,8 +333,8 @@ class _Handler(BaseHTTPRequestHandler):
                     break
                 time.sleep(0.05)
             self._write_chunk(b"")
-        except (BrokenPipeError, ConnectionResetError):
-            pass  # reader went away; nothing to clean up
+        except (BrokenPipeError, ConnectionResetError, TimeoutError, OSError):
+            pass  # reader went away or stalled out; nothing to clean up
 
     def _delete(self) -> None:
         job_id = self._job_path_id()
@@ -297,6 +354,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(scheduler: Scheduler, host: str = "127.0.0.1",
-                port: int = 0) -> ServiceServer:
+                port: int = 0,
+                node_id: Optional[str] = None) -> ServiceServer:
     """Bind the JSON API (port 0 = ephemeral; read ``server_port``)."""
-    return ServiceServer((host, port), scheduler)
+    return ServiceServer((host, port), scheduler, node_id=node_id)

@@ -28,10 +28,18 @@ STORE_VERSION = 1
 
 
 class ResultStore:
-    """Job-id -> result-dict map, optionally persisted one file per id."""
+    """Job-id -> result-dict map, optionally persisted one file per id.
 
-    def __init__(self, root: Optional[str] = None):
+    ``node_id`` (optional) stamps every persisted document with the
+    serving node that computed it -- provenance for sharded fleets.  The
+    stamp lives *next to* the ``result`` payload, never inside it, so
+    results stay bit-identical no matter which node produced them.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 node_id: Optional[str] = None):
         self.root = root
+        self.node_id = node_id
         self._mem: Dict[str, Dict[str, Any]] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -70,6 +78,8 @@ class ResultStore:
 
     def put(self, job_id: str, result: Dict[str, Any]) -> None:
         doc = {"version": STORE_VERSION, "id": job_id, "result": result}
+        if self.node_id:
+            doc["node"] = self.node_id
         with self._lock:
             self._mem[job_id] = doc
             self.puts += 1

@@ -227,6 +227,36 @@ def cluster_rank_failures() -> Counter:
                            "Rank processes that died mid-solve")
 
 
+def fleet_requests() -> Counter:
+    return METRICS.counter("fleet_requests_total",
+                           "Requests the fleet gateway forwarded to nodes",
+                           labelnames=("route", "outcome"))
+
+
+def fleet_failovers() -> Counter:
+    return METRICS.counter(
+        "fleet_failovers_total",
+        "Requests re-routed to a replica after the home node failed")
+
+
+def fleet_resubmits() -> Counter:
+    return METRICS.counter(
+        "fleet_resubmits_total",
+        "Jobs the gateway resubmitted to a replica after losing "
+        "their home node mid-flight")
+
+
+def fleet_nodes() -> Gauge:
+    return METRICS.gauge("fleet_nodes",
+                         "Fleet nodes by liveness state",
+                         labelnames=("state",))
+
+
+def fleet_shard_version() -> Gauge:
+    return METRICS.gauge("fleet_shard_version",
+                         "Current shard-map version of the gateway")
+
+
 def batch_occupancy() -> Gauge:
     return METRICS.gauge(
         "batch_lane_occupancy",

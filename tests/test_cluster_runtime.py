@@ -99,6 +99,42 @@ class TestRunDistributed:
                             tol=1e-6, max_steps=20)
 
 
+class TestCpuPinning:
+    @pytest.mark.skipif(not hasattr(os, "sched_getaffinity"),
+                        reason="no sched_setaffinity on this platform")
+    def test_pinning_reported_and_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_PIN", "1")
+        scalar = _make_solver().solve(tol=1e-12, max_steps=40)
+        solver = _make_solver()
+        result, info = run_distributed(RankLayout(solver.grid, 2, 1, 1),
+                                       solver, tol=1e-12, max_steps=40)
+        pins = info["cpu_pins"]
+        allowed = os.sched_getaffinity(0)
+        assert len(pins) == 2
+        assert all(cpu in allowed for cpu in pins)
+        # Round-robin over the allowed set: distinct CPUs when there
+        # are at least as many CPUs as ranks.
+        if len(allowed) >= 2:
+            assert len(set(pins)) == 2
+        # Pinning is a placement hint only -- the numerics are untouched.
+        for name in ALL_COMPONENTS:
+            assert np.array_equal(result.fields[name], scalar.fields[name])
+
+    def test_pinning_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_PIN", raising=False)
+        solver = _make_solver()
+        _, info = run_distributed(RankLayout(solver.grid, 2, 1, 1),
+                                  solver, tol=1e-6, max_steps=20)
+        assert "cpu_pins" not in info
+
+    @pytest.mark.parametrize("off", ["0", "off", "false", "no"])
+    def test_falsey_values_disable_pinning(self, monkeypatch, off):
+        from repro import config
+
+        monkeypatch.setenv("REPRO_CLUSTER_PIN", off)
+        assert config.cluster_pin() is False
+
+
 class TestDistributedJobSpec:
     def test_requires_ranks(self):
         with pytest.raises(ValueError, match="ranks"):

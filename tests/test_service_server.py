@@ -1,6 +1,7 @@
 """End-to-end tests of the HTTP serving layer (ephemeral port)."""
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -146,6 +147,53 @@ class TestQueries:
         assert doc["running"] >= 0
         assert "checkpoint_lag_s" in doc
 
+    def test_healthz_reports_node_identity(self, service):
+        base, _ = service
+        status, doc = _request("GET", f"{base}/healthz")
+        assert status == 200
+        # A stable node id (generated when REPRO_NODE_ID is unset) and
+        # the last gateway-announced shard-map version (None until a
+        # gateway talks to us).
+        assert doc["node_id"]
+        _, again = _request("GET", f"{base}/healthz")
+        assert again["node_id"] == doc["node_id"]
+        assert doc["shard_version"] is None
+
+    def test_responses_carry_node_header(self, service):
+        base, _ = service
+        with urllib.request.urlopen(f"{base}/healthz", timeout=30.0) as resp:
+            node_header = resp.headers["X-Repro-Node"]
+            doc = json.loads(resp.read())
+        assert node_header == doc["node_id"]
+
+    def test_shard_version_adopted_from_gateway_header(self, service):
+        base, _ = service
+        req = urllib.request.Request(
+            f"{base}/healthz", headers={"X-Repro-Shard-Version": "7"})
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            doc = json.loads(resp.read())
+            assert doc["shard_version"] == 7
+            assert resp.headers["X-Repro-Shard-Version"] == "7"
+        # Sticky until the next announcement; malformed headers ignored.
+        req = urllib.request.Request(
+            f"{base}/healthz", headers={"X-Repro-Shard-Version": "bogus"})
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            assert json.loads(resp.read())["shard_version"] == 7
+
+    def test_submit_adopts_gateway_trace_id(self, service):
+        base, _ = service
+        trace = "0123456789abcdef"
+        data = json.dumps(FAST_TUNE).encode()
+        req = urllib.request.Request(
+            f"{base}/jobs", data=data, method="POST",
+            headers={"Content-Type": "application/json",
+                     "X-Repro-Trace-Id": trace})
+        with urllib.request.urlopen(req, timeout=30.0) as resp:
+            doc = json.loads(resp.read())
+        assert doc["trace_id"] == trace
+        done = _poll(base, doc["id"])
+        assert done["trace_id"] == trace
+
     def test_metrics_json_rollup(self, service):
         base, _ = service
         _, doc = _request("POST", f"{base}/jobs", FAST_TUNE)
@@ -226,6 +274,38 @@ class TestEventStream:
         status, doc = _request(
             "GET", f"{base}/jobs/ffffffffffffffffffffffff/events")
         assert status == 404 and "unknown job" in doc["error"]
+
+
+class TestConnectionHygiene:
+    def test_stalled_client_is_timed_out(self, monkeypatch):
+        """A connection that never sends a request is hung up on after
+        the per-request timeout instead of pinning a handler thread."""
+        monkeypatch.setenv("REPRO_HTTP_TIMEOUT", "1")
+        sched = Scheduler(workers=1, queue_size=4)  # not started
+        server = make_server(sched, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert server.request_timeout == 1.0
+            with socket.create_connection(
+                    ("127.0.0.1", server.server_port),
+                    timeout=15.0) as sock:
+                sock.settimeout(15.0)
+                start = time.monotonic()
+                assert sock.recv(1024) == b""  # server closed the socket
+                assert time.monotonic() - start < 10.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def test_backlog_is_bounded(self, service):
+        base, _ = service
+        # The listen backlog is finite (kernel-enforced), not the
+        # unbounded socketserver default of 5-but-overridable-to-inf.
+        from repro.service.server import ServiceServer
+
+        assert ServiceServer.request_queue_size == 32
 
 
 class TestCancel:
