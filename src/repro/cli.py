@@ -182,6 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--queue-file", default=None, metavar="FILE",
                     help="spool queued jobs here on shutdown and restore "
                          "them on start (default: REPRO_QUEUE_FILE)")
+    sv.add_argument("--data-dir", default=None, metavar="DIR",
+                    help="one persistent per-node state root: derives the "
+                         "registry/results/checkpoint dirs and queue file "
+                         "unless given explicitly "
+                         "(default: REPRO_DATA_DIR)")
+    sv.add_argument("--lease-dir", default=None, metavar="DIR",
+                    help="heartbeat a membership lease file here so "
+                         "lease-driven gateways discover this node "
+                         "(default: REPRO_LEASE_DIR)")
 
     tl = sub.add_parser(
         "tail", help="stream a job's live progress events (NDJSON follow)")
@@ -205,7 +214,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ch.add_argument("--scenario",
                     choices=("crash-resume", "batch-resume", "rank-crash",
-                             "node-crash", "corrupt-registry",
+                             "node-crash", "node-reboot-warm",
+                             "replica-promote", "corrupt-registry",
                              "corrupt-store", "all"),
                     default="all")
     ch.add_argument("--seed", type=int, default=0,
@@ -252,17 +262,45 @@ def build_parser() -> argparse.ArgumentParser:
     fls.add_argument("--node-timeout", type=float, default=60.0,
                      metavar="SECONDS",
                      help="per-request timeout when forwarding to a node")
+    fls.add_argument("--lease-dir", default=None, metavar="DIR",
+                     help="derive membership from lease files in this "
+                          "shared directory instead of (or in addition "
+                          "to) --nodes (default: REPRO_LEASE_DIR)")
+    fls.add_argument("--data-root", default=None, metavar="DIR",
+                     help="with --spawn: give node i a persistent data "
+                          "dir DIR/node<i> (registry, results, "
+                          "checkpoints, spooled queue)")
+    fls.add_argument("--quota", type=float, default=None, metavar="PER_S",
+                     help="per-tenant submit quota in requests/second; "
+                          "0 disables (default: REPRO_FLEET_QUOTA)")
+    fls.add_argument("--quota-burst", type=float, default=None,
+                     metavar="TOKENS",
+                     help="per-tenant burst depth "
+                          "(default: REPRO_FLEET_QUOTA_BURST)")
+    fls.add_argument("--retry-budget", type=float, default=None,
+                     metavar="PER_MIN",
+                     help="global failover/resubmit budget per minute; "
+                          "0 disables (default: REPRO_FLEET_RETRY_BUDGET)")
     flst = flsub.add_parser(
         "status", help="one-shot fleet health + shard-map snapshot")
     flst.add_argument("--url", default="http://127.0.0.1:8640",
                       help="gateway base URL")
     flst.add_argument("--json", action="store_true")
+    flst.add_argument("--timeout", type=float, default=2.0,
+                      metavar="SECONDS",
+                      help="per-probe timeout; slow/dead targets degrade "
+                           "to DOWN markers instead of hanging the status")
     flsp = flsub.add_parser(
         "spawn", help="spawn N local serve nodes and print their URLs")
     flsp.add_argument("-n", "--count", type=int, default=3)
     flsp.add_argument("--workers", type=int, default=2)
     flsp.add_argument("--mode", choices=("thread", "process"),
                       default="process")
+    flsp.add_argument("--data-root", default=None, metavar="DIR",
+                      help="give node i the persistent data dir "
+                           "<DIR>/node<i> (REPRO_DATA_DIR)")
+    flsp.add_argument("--lease-dir", default=None, metavar="DIR",
+                      help="nodes heartbeat membership leases here")
 
     sb = sub.add_parser("submit", help="submit a job to a running service")
     sb.add_argument("--url", default="http://127.0.0.1:8642")
@@ -742,16 +780,27 @@ def _cmd_serve(args) -> int:
     # (/healthz, X-Repro-Node) and persisted artifacts carry it as
     # provenance, so a fleet's shards stay attributable.
     node_id = config.node_id() or uuid.uuid4().hex[:12]
-    registry = PlanRegistry(args.registry or config.registry_dir(),
-                            node_id=node_id)
-    store = ResultStore(args.results or config.result_dir(),
-                        node_id=node_id)
+    # --data-dir (REPRO_DATA_DIR) is one root for every piece of
+    # persistent node state; explicit per-piece flags/env still win.
+    data_dir = args.data_dir or config.data_dir()
+
+    def _in_data(piece: str):
+        return os.path.join(data_dir, piece) if data_dir else None
+
+    registry = PlanRegistry(
+        args.registry or config.registry_dir() or _in_data("registry"),
+        node_id=node_id)
+    store = ResultStore(
+        args.results or config.result_dir() or _in_data("results"),
+        node_id=node_id)
     sched = Scheduler(
         workers=args.workers, queue_size=args.queue_size,
         registry=registry, store=store, mode=args.mode,
-        checkpoint_dir=args.checkpoint_dir or None,
+        checkpoint_dir=(args.checkpoint_dir or config.checkpoint_dir()
+                        or _in_data("checkpoints")),
     ).start()
-    queue_file = args.queue_file or config.queue_file()
+    queue_file = (args.queue_file or config.queue_file()
+                  or _in_data("queue.json"))
     if queue_file and os.path.exists(queue_file):
         restored = sched.restore_queue(queue_file)
         if restored:
@@ -759,6 +808,17 @@ def _cmd_serve(args) -> int:
                   flush=True)
     server = make_server(sched, host=args.host, port=args.port,
                          node_id=node_id)
+    # Lease-file membership: heartbeat our URL into the shared lease
+    # directory so lease-driven gateways discover (and expire) this node.
+    lease = None
+    lease_dir = args.lease_dir or config.lease_dir()
+    if lease_dir:
+        from .fleet.leases import LeaseHeartbeat
+
+        os.makedirs(lease_dir, exist_ok=True)
+        lease = LeaseHeartbeat(
+            lease_dir, node_id,
+            f"http://{args.host}:{server.server_port}").start()
 
     def _on_signal(signum, frame):
         # Flip /healthz to draining and unwind serve_forever.  shutdown()
@@ -784,6 +844,8 @@ def _cmd_serve(args) -> int:
             signal.signal(sig, handler)
     # Graceful shutdown: no new dispatch, bounded wait for in-flight
     # jobs, then spool whatever is still queued for the next process.
+    if lease is not None:
+        lease.stop(clear=True)  # graceful leave, not a lease expiry
     budget = (args.drain_timeout if args.drain_timeout is not None
               else config.drain_timeout())
     drained = sched.drain(timeout=budget)
@@ -811,28 +873,38 @@ def _cmd_fleet_serve(args) -> int:
     import signal
     import threading
 
-    from . import telemetry
+    from . import config, telemetry
     from .fleet import NodeRegistry, make_gateway, spawn_local_fleet
 
+    lease_dir = args.lease_dir or config.lease_dir()
     urls = [u.strip().rstrip("/")
             for u in (args.nodes or "").split(",") if u.strip()]
     spawned = []
     if args.spawn:
         spawned = spawn_local_fleet(args.spawn, workers=args.workers,
-                                    mode=args.mode)
+                                    mode=args.mode, lease_dir=lease_dir,
+                                    data_root=args.data_root)
         for node in spawned:
             print(f"spawned {node.node_id} -> {node.url} "
                   f"(pid {node.proc.pid})", flush=True)
         urls += [node.url for node in spawned]
-    if not urls:
-        print("fleet serve: no nodes (use --nodes URL,... and/or --spawn N)")
+    if not urls and lease_dir is None:
+        print("fleet serve: no nodes (use --nodes URL,..., --spawn N "
+              "and/or --lease-dir DIR)")
         return 2
     telemetry.enable()
-    registry = NodeRegistry(urls, interval_s=args.heartbeat)
+    if lease_dir:
+        import os
+
+        os.makedirs(lease_dir, exist_ok=True)
+    registry = NodeRegistry(urls, interval_s=args.heartbeat,
+                            lease_dir=lease_dir)
     registry.check_once()  # learn node ids before the first request
     registry.start()
     gateway = make_gateway(registry, host=args.host, port=args.port,
-                           node_timeout_s=args.node_timeout)
+                           node_timeout_s=args.node_timeout,
+                           quota=args.quota, quota_burst=args.quota_burst,
+                           retry_budget=args.retry_budget)
 
     def _on_signal(signum, frame):
         threading.Thread(target=gateway.shutdown, daemon=True).start()
@@ -842,9 +914,11 @@ def _cmd_fleet_serve(args) -> int:
         for sig in (signal.SIGTERM, signal.SIGINT)
     }
     alive = len(registry.alive_urls())
+    lease_note = f", leases {lease_dir}" if lease_dir else ""
     print(f"repro fleet gateway on http://{args.host}:{gateway.server_port} "
-          f"({alive}/{len(urls)} node(s) alive, shard map "
-          f"v{registry.version}, {registry.replicas} owners/key)", flush=True)
+          f"({alive}/{len(registry.urls)} node(s) alive, shard map "
+          f"v{registry.version}, {registry.replicas} owners/key"
+          f"{lease_note})", flush=True)
     try:
         gateway.serve_forever()
     except KeyboardInterrupt:
@@ -862,29 +936,53 @@ def _cmd_fleet_serve(args) -> int:
 
 
 def _cmd_fleet_status(args) -> int:
+    """Fleet snapshot that degrades instead of hanging: the gateway and
+    every node are probed with a short per-probe timeout, and whatever
+    does not answer is shown as DOWN rather than failing the command."""
     import json as _json
 
-    status, health = _http_json("GET", f"{args.url}/healthz")
-    if status != 200:
-        print(f"fleet status failed ({status}): {health.get('error')}")
-        return 2
+    def _probe(url: str):
+        try:
+            status, doc = _http_json("GET", f"{url}/healthz",
+                                     timeout=args.timeout)
+        except Exception as exc:  # noqa: BLE001 - a dead probe is data
+            return {"ok": False, "error": str(exc) or type(exc).__name__}
+        if status != 200:
+            return {"ok": False, "error": f"HTTP {status}", **(
+                doc if isinstance(doc, dict) else {})}
+        return dict(doc, ok=doc.get("ok", True))
+
+    gateway = _probe(args.url)
+    nodes = gateway.get("nodes") or []
+    probes = {n["url"]: _probe(n["url"]) for n in nodes}
     if args.json:
-        print(_json.dumps(health, indent=2, sort_keys=True))
-        return 0
+        print(_json.dumps({"gateway_url": args.url, "gateway": gateway,
+                           "probes": probes},
+                          indent=2, sort_keys=True))
+        return 0 if gateway.get("ok") else 2
     print(f"repro fleet -- {args.url}")
-    print(f"shard map v{health.get('shard_version')}, "
-          f"{health.get('alive')}/{len(health.get('nodes') or [])} "
-          f"node(s) alive, {health.get('replicas')} owners/key"
-          + ("" if health.get("ok") else "  [NO LIVE NODES]"))
-    print(f"{'url':<28} {'node_id':<14} {'state':>6} {'flags'}")
-    for node in health.get("nodes") or []:
+    if "error" in gateway and not nodes:
+        print(f"gateway DOWN: {gateway['error']}")
+        return 2
+    admission = gateway.get("admission") or {}
+    quota = admission.get("quota_per_s") or 0
+    budget = admission.get("retry_budget_per_min") or 0
+    print(f"shard map v{gateway.get('shard_version')}, "
+          f"{gateway.get('alive')}/{len(nodes)} "
+          f"node(s) alive, {gateway.get('replicas')} owners/key, "
+          f"quota {quota:g}/s, retry budget {budget:g}/min"
+          + ("" if gateway.get("ok") else "  [NO LIVE NODES]"))
+    print(f"{'url':<28} {'node_id':<14} {'state':>6} {'probe':>6} {'flags'}")
+    for node in nodes:
+        probe = probes.get(node["url"]) or {}
         flags = ",".join(f for f in
                          ("stale" if node.get("stale") else "",
                           "split-brain" if node.get("split_brain") else "")
                          if f) or "-"
+        direct = "ok" if probe.get("ok") else "DOWN"
         print(f"{node['url']:<28} {str(node.get('node_id')):<14} "
-              f"{node['state']:>6} {flags}")
-    return 0
+              f"{node['state']:>6} {direct:>6} {flags}")
+    return 0 if gateway.get("ok") else 2
 
 
 def _cmd_fleet_spawn(args) -> int:
@@ -892,8 +990,14 @@ def _cmd_fleet_spawn(args) -> int:
 
     from .fleet import spawn_local_fleet
 
+    import os
+
+    if args.lease_dir:
+        os.makedirs(args.lease_dir, exist_ok=True)
     nodes = spawn_local_fleet(args.count, workers=args.workers,
-                              mode=args.mode)
+                              mode=args.mode,
+                              data_root=args.data_root,
+                              lease_dir=args.lease_dir)
     for node in nodes:
         print(f"{node.node_id} {node.url} pid {node.proc.pid}", flush=True)
     print("--nodes " + ",".join(node.url for node in nodes), flush=True)
@@ -1628,6 +1732,216 @@ def _chaos_node_crash(seed: int, grid: int):
     return True, dict(detail, bit_identical=True)
 
 
+def _node_metrics(url: str) -> dict:
+    """One node's JSON metrics rollup (scheduler/store counters)."""
+    status, doc = _http_json("GET", f"{url}/metrics?format=json")
+    assert status == 200, f"metrics probe failed: {status} {doc}"
+    return doc
+
+
+def _chaos_node_reboot_warm(seed: int, grid: int):
+    """SIGKILL a node mid-campaign, restart it against the same
+    ``REPRO_DATA_DIR``; prove the campaign completes with ZERO re-solves
+    of already-committed points (the reboot is warm: the persistent
+    store answers them) and every result stays bit-identical."""
+    import tempfile
+    import threading
+
+    from . import telemetry
+    from .fleet import (ALIVE, DEAD, NodeRegistry, make_gateway,
+                        respawn_node, spawn_local_fleet)
+    from .service.jobs import JobSpec, run_job
+
+    telemetry.enable()
+    wavelengths = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+    base = dict(kind="solve", preset="vacuum", grid=grid, tol=1e-4,
+                max_steps=20)
+    specs = [JobSpec.from_dict(dict(base, wavelength=w))
+             for w in wavelengths]
+    first, second = specs[: len(specs) // 2], specs[len(specs) // 2:]
+    data_root = tempfile.mkdtemp(prefix="repro-chaos-data-")
+    neutral = dict(REPRO_FAULTS=None, REPRO_CHECKPOINT_EVERY=None,
+                   REPRO_CHECKPOINT_DIR=None)
+    with _patched_env(**neutral):
+        clean = {s.job_id: run_job(s) for s in specs}
+        nodes = spawn_local_fleet(2, workers=1, mode="thread",
+                                  data_root=data_root)
+    registry = NodeRegistry([n.url for n in nodes], dead_after=1,
+                            timeout_s=10.0, interval_s=3600.0)
+    registry.check_once()
+    gateway = make_gateway(registry, port=0, node_timeout_s=60.0)
+    gw_thread = threading.Thread(target=gateway.serve_forever, daemon=True)
+    gw_thread.start()
+    base_url = f"http://127.0.0.1:{gateway.server_port}"
+    try:
+        # The victim is the home of a seeded FIRST-half point, so the
+        # reboot provably lands on a node holding committed state.
+        chosen = first[seed % len(first)]
+        victim_url = gateway.router.home(chosen.job_id)
+        victim = next(n for n in nodes if n.url == victim_url)
+
+        for s in first:
+            status, doc = _http_json("POST", f"{base_url}/jobs",
+                                     payload=s.to_dict())
+            assert status == 202, f"submit failed: {status} {doc}"
+        for s in first:
+            _poll_job(base_url, s.job_id, timeout=120.0)
+
+        victim.kill()  # SIGKILL: no drain, in-memory state gone
+        registry.check_once()
+        dead_state = registry.node(victim_url).state
+        print(f"  killed {victim.node_id} ({victim_url}) after "
+              f"{len(first)} committed point(s) (seed {seed})")
+
+        with _patched_env(**neutral):
+            reborn = respawn_node(victim)
+        nodes = [reborn if n is victim else n for n in nodes]
+        registry.check_once()
+        revived_state = registry.node(victim_url).state
+        print(f"  respawned {reborn.node_id} on the same port against "
+              f"{data_root}")
+
+        for s in second:
+            status, doc = _http_json("POST", f"{base_url}/jobs",
+                                     payload=s.to_dict())
+            assert status == 202, f"submit failed: {status} {doc}"
+        docs = {s.job_id: _poll_job(base_url, s.job_id, timeout=120.0)
+                for s in specs}
+        victim_metrics = _node_metrics(victim_url)
+        executed = victim_metrics["scheduler"]["executed"]
+        store_counters = victim_metrics["store"]
+    finally:
+        gateway.shutdown()
+        gateway.server_close()
+        registry.stop()
+        for n in nodes:
+            n.kill()
+
+    mismatched = [jid for jid, doc in docs.items()
+                  if doc.get("result") != clean[jid]]
+    # The respawned node may only ever execute SECOND-half points homed
+    # on it: every committed first-half point must come back warm.
+    expected_executed = sum(
+        1 for s in second
+        if gateway.router.home(s.job_id) == victim_url)
+    warm = [jid for jid, doc in docs.items()
+            if doc.get("from_store")
+            and gateway.router.home(jid) == victim_url]
+    detail = {"seed": seed, "victim": victim.node_id,
+              "points": len(specs), "mismatched": len(mismatched),
+              "dead_state": dead_state, "revived_state": revived_state,
+              "executed_after_reboot": executed,
+              "expected_executed": expected_executed,
+              "warm_reads": len(warm),
+              "store_hits": store_counters.get("hits")}
+    if mismatched:
+        print(f"  MISMATCH: {len(mismatched)} point(s) differ from the "
+              "direct single-node run")
+        return False, dict(detail, bit_identical=False)
+    if dead_state != DEAD or revived_state != ALIVE:
+        print(f"  membership never tracked the reboot "
+              f"(kill -> {dead_state}, respawn -> {revived_state})")
+        return False, dict(detail, bit_identical=True)
+    if executed > expected_executed:
+        print(f"  RE-SOLVE: the rebooted node executed {executed} job(s), "
+              f"expected {expected_executed} (committed points must come "
+              "back from its persistent store)")
+        return False, dict(detail, bit_identical=True)
+    print(f"  all {len(specs)} points bit-identical; rebooted node "
+          f"re-solved nothing ({executed}/{expected_executed} fresh "
+          f"second-half job(s) executed, {len(warm)} warm read(s))")
+    return True, dict(detail, bit_identical=True)
+
+
+def _chaos_replica_promote(seed: int, grid: int):
+    """Kill the owner AFTER its result was replicated; prove the gateway
+    serves the read from the replica's store -- no recompute, witnessed
+    by the replica's solve counters -- and the shard-map version bumps
+    exactly once for the death."""
+    import threading
+
+    from . import telemetry
+    from .fleet import NodeRegistry, make_gateway, spawn_local_fleet
+    from .service.jobs import JobSpec, run_job
+
+    telemetry.enable()
+    wavelengths = [10.0, 11.0, 12.0, 13.0, 14.0, 15.0]
+    spec = JobSpec(kind="solve", preset="vacuum", grid=grid,
+                   wavelength=wavelengths[seed % len(wavelengths)],
+                   tol=1e-4, max_steps=20)
+    neutral = dict(REPRO_FAULTS=None, REPRO_CHECKPOINT_EVERY=None,
+                   REPRO_CHECKPOINT_DIR=None)
+    with _patched_env(**neutral):
+        clean = run_job(spec)
+        nodes = spawn_local_fleet(3, workers=1, mode="thread")
+    registry = NodeRegistry([n.url for n in nodes], dead_after=1,
+                            timeout_s=10.0, interval_s=3600.0)
+    registry.check_once()
+    gateway = make_gateway(registry, port=0, node_timeout_s=60.0)
+    gw_thread = threading.Thread(target=gateway.serve_forever, daemon=True)
+    gw_thread.start()
+    base_url = f"http://127.0.0.1:{gateway.server_port}"
+    try:
+        owner_url, replica_url = gateway.router.candidates(spec.job_id)[:2]
+        owner = next(n for n in nodes if n.url == owner_url)
+        telemetry.fleet_replications()  # create the series before reading
+        repl0 = telemetry.METRICS.get_value(
+            "fleet_replications_total", labels=("ok",))
+
+        status, doc = _http_json("POST", f"{base_url}/jobs",
+                                 payload=spec.to_dict())
+        assert status == 202, f"submit failed: {status} {doc}"
+        _poll_job(base_url, spec.job_id, timeout=120.0)
+        # The done-poll above pushed the result to the replica.
+        replications = telemetry.METRICS.get_value(
+            "fleet_replications_total", labels=("ok",)) - repl0
+        replica_before = _node_metrics(replica_url)
+        v0 = registry.version
+
+        owner.kill()  # the computing node dies AFTER replication
+        print(f"  killed owner {owner.node_id} ({owner_url}) after "
+              f"{replications:g} replication(s) (seed {seed})")
+
+        status, doc = _http_json("GET", f"{base_url}/jobs/{spec.job_id}")
+        replica_after = _node_metrics(replica_url)
+        v1 = registry.version
+    finally:
+        gateway.shutdown()
+        gateway.server_close()
+        registry.stop()
+        for n in nodes:
+            n.kill()
+
+    executed_delta = (replica_after["scheduler"]["executed"]
+                      - replica_before["scheduler"]["executed"])
+    detail = {"seed": seed, "owner": owner.node_id,
+              "replications": replications,
+              "replica_puts": replica_before["store"].get("replica_puts"),
+              "status_after_kill": status,
+              "replica_executed_delta": executed_delta,
+              "shard_version": [v0, v1]}
+    if replications < 1 or not replica_before["store"].get("replica_puts"):
+        print("  the result was never replicated to the ring's replica")
+        return False, dict(detail, replicated=False)
+    if status != 200 or doc.get("result") != clean:
+        print(f"  promoted read failed: HTTP {status}, "
+              f"bit_identical={doc.get('result') == clean}")
+        return False, dict(detail, replicated=True, bit_identical=False)
+    if executed_delta != 0:
+        print(f"  RECOMPUTE: the replica executed {executed_delta} job(s) "
+              "serving the promoted read")
+        return False, dict(detail, replicated=True, bit_identical=True)
+    if v1 != v0 + 1:
+        print(f"  expected exactly one shard-map bump for the death "
+              f"(v{v0} -> v{v1})")
+        return False, dict(detail, replicated=True, bit_identical=True)
+    print(f"  replica served the read from its store bit-identically "
+          f"(0 re-solves, from_store={doc.get('from_store')}, "
+          f"shard map v{v0} -> v{v1})")
+    return True, dict(detail, replicated=True, bit_identical=True,
+                      from_store=bool(doc.get("from_store")))
+
+
 def _chaos_corrupt(which: str):
     """Scribble over a persisted artifact; prove it quarantines to
     ``*.corrupt`` and the recomputed result is identical."""
@@ -1686,6 +2000,10 @@ def _cmd_chaos(args) -> int:
         "batch-resume": lambda: _chaos_batch_resume(args.seed, args.grid),
         "rank-crash": lambda: _chaos_rank_crash(args.seed, args.grid),
         "node-crash": lambda: _chaos_node_crash(args.seed, args.grid),
+        "node-reboot-warm": lambda: _chaos_node_reboot_warm(args.seed,
+                                                            args.grid),
+        "replica-promote": lambda: _chaos_replica_promote(args.seed,
+                                                          args.grid),
         "corrupt-registry": lambda: _chaos_corrupt("registry"),
         "corrupt-store": lambda: _chaos_corrupt("store"),
     }

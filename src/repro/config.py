@@ -28,11 +28,18 @@ __all__ = [
     "checkpoint_every",
     "cluster_pin",
     "cluster_transport",
+    "data_dir",
     "describe",
     "drain_timeout",
     "faults_schedule",
     "fleet_heartbeat",
+    "fleet_quota",
+    "fleet_quota_burst",
+    "fleet_retry_budget",
+    "fleet_spec_cache",
     "http_timeout",
+    "lease_dir",
+    "lease_ttl",
     "native_build_dir",
     "native_disabled",
     "node_id",
@@ -145,6 +152,41 @@ FLAGS: Dict[str, Flag] = {
         Flag(
             "REPRO_FLEET_HEARTBEAT", "1", "float",
             "seconds between gateway heartbeat probes of fleet nodes",
+        ),
+        Flag(
+            "REPRO_DATA_DIR", "(in-memory)", "path",
+            "per-node data root for repro serve: derives registry/, "
+            "results/, checkpoints/ and queue.json so a rebooted node "
+            "rejoins with its shard warm",
+        ),
+        Flag(
+            "REPRO_LEASE_DIR", "(disabled)", "path",
+            "shared lease directory for fleet membership: nodes write "
+            "heartbeat lease files; the gateway derives the live set",
+        ),
+        Flag(
+            "REPRO_LEASE_TTL", "5", "float",
+            "seconds a lease file stays fresh; an unrefreshed lease "
+            "reads as node death (join/leave/expiry bump the shard map)",
+        ),
+        Flag(
+            "REPRO_FLEET_QUOTA", "0", "float",
+            "per-tenant submit quota at the gateway in requests/second "
+            "(token bucket keyed by X-Repro-Api-Key; 0 = unlimited)",
+        ),
+        Flag(
+            "REPRO_FLEET_QUOTA_BURST", "0", "float",
+            "burst size of the per-tenant submit bucket "
+            "(0 = 2x the quota rate, minimum 1)",
+        ),
+        Flag(
+            "REPRO_FLEET_RETRY_BUDGET", "60", "float",
+            "gateway failover/resubmit retries per minute before "
+            "NodeUnavailable is returned instead (0 = unlimited)",
+        ),
+        Flag(
+            "REPRO_FLEET_SPEC_CACHE", "4096", "int",
+            "entries the gateway's LRU resubmission spec cache holds",
         ),
     )
 }
@@ -276,6 +318,63 @@ def fleet_heartbeat() -> float:
     except ValueError:
         return 1.0
     return value if value > 0 else 1.0
+
+
+def data_dir() -> Optional[str]:
+    """Per-node persistent data root, or ``None`` for in-memory state."""
+    return os.environ.get("REPRO_DATA_DIR") or None
+
+
+def lease_dir() -> Optional[str]:
+    """Shared fleet-membership lease directory, or ``None`` (static
+    node lists only)."""
+    return os.environ.get("REPRO_LEASE_DIR") or None
+
+
+def lease_ttl() -> float:
+    """Lease freshness window; malformed/non-positive values read as 5s."""
+    try:
+        value = float(os.environ.get("REPRO_LEASE_TTL", "5"))
+    except ValueError:
+        return 5.0
+    return value if value > 0 else 5.0
+
+
+def fleet_quota() -> float:
+    """Per-tenant gateway submit quota in req/s; 0 (or malformed) means
+    unlimited."""
+    try:
+        return max(0.0, float(os.environ.get("REPRO_FLEET_QUOTA", "0")))
+    except ValueError:
+        return 0.0
+
+
+def fleet_quota_burst() -> float:
+    """Burst size of the per-tenant bucket; 0 (or malformed) lets the
+    admission layer derive one from the rate."""
+    try:
+        return max(0.0, float(os.environ.get("REPRO_FLEET_QUOTA_BURST", "0")))
+    except ValueError:
+        return 0.0
+
+
+def fleet_retry_budget() -> float:
+    """Gateway failover retries per minute; 0 (or malformed non-number)
+    means unlimited."""
+    try:
+        return max(0.0, float(os.environ.get("REPRO_FLEET_RETRY_BUDGET",
+                                             "60")))
+    except ValueError:
+        return 60.0
+
+
+def fleet_spec_cache() -> int:
+    """Gateway spec-cache capacity; malformed or < 1 falls back to 4096."""
+    try:
+        value = int(os.environ.get("REPRO_FLEET_SPEC_CACHE", "4096"))
+    except ValueError:
+        return 4096
+    return value if value >= 1 else 4096
 
 
 def telemetry_mode() -> Optional[bool]:

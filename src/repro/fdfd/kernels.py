@@ -36,6 +36,7 @@ is built on: one pass over the shared stencil working set updates all
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -105,20 +106,26 @@ def region_lups(region: Region) -> int:
 #: Reusable kernel work buffers, keyed by (shape, dtype, slot).  The update
 #: of one region needs at most four same-shaped buffers alive at once (two
 #: accumulators + two wrapped shifted reads); reusing them removes every
-#: per-call allocation from the hot path.  The executor is single-threaded,
-#: so a module-level pool is safe.
-_SCRATCH: dict = {}
+#: per-call allocation from the hot path.  The pool is thread-local: one
+#: executor thread is single-threaded through a solve, but a serve node
+#: with ``workers > 1`` (or several in-process node schedulers) runs
+#: concurrent solves, and same-shaped solves sharing one buffer would
+#: race and corrupt each other's numerics.
+_SCRATCH = threading.local()
 _SCRATCH_MAX = 64
 
 
 def _scratch(shape: tuple, dtype, slot: int) -> np.ndarray:
+    pool = getattr(_SCRATCH, "pool", None)
+    if pool is None:
+        pool = _SCRATCH.pool = {}
     key = (shape, dtype, slot)
-    buf = _SCRATCH.get(key)
+    buf = pool.get(key)
     if buf is None:
-        if len(_SCRATCH) >= _SCRATCH_MAX:
-            _SCRATCH.clear()
+        if len(pool) >= _SCRATCH_MAX:
+            pool.clear()
         buf = np.empty(shape, dtype)
-        _SCRATCH[key] = buf
+        pool[key] = buf
     return buf
 
 

@@ -36,6 +36,25 @@ are gone the request answers **503** with a ``Retry-After`` hint and a
 ``NodeUnavailable`` payload.  HTTP-level node answers (backpressure 503,
 validation 400, cancel 409) pass through untouched.
 
+Admission control (:mod:`repro.fleet.admission`): every submit draws one
+token from its tenant's bucket (the ``X-Repro-Api-Key`` header; absent
+keys share the anonymous bucket).  An empty bucket answers **429** with
+a ``Retry-After`` sized to the refill time, while other tenants on the
+same fleet proceed untouched.  Failover hops and loss-resubmissions draw
+from one global :class:`~repro.fleet.admission.RetryBudget`, so a
+flapping node cannot amplify load without bound -- past the budget the
+gateway answers 503 instead of hammering the survivors.  Both default
+off (``REPRO_FLEET_QUOTA`` / ``REPRO_FLEET_RETRY_BUDGET``).
+
+Write replication: when a poll through the gateway first sees a job
+``done``, the gateway pushes the result document to the job's other ring
+owners (``PUT /results/<id>`` with ``X-Repro-Replicate``), so a later
+death of the computing node leaves a warm copy the replica serves from
+its own store -- failover reads become store hits, bit-identical, no
+recompute.  Replication is best-effort, idempotent (content-addressed
+ids; an existing document wins) and observable as
+``repro_fleet_replications_total`` by outcome.
+
 Exactly-once results: job ids are content hashes and every node's store
 dedups on them, so no matter how many times a spec is submitted or
 failed over, there is one result document per unique spec -- and it is
@@ -53,6 +72,7 @@ from __future__ import annotations
 
 import collections
 import json
+import math
 import threading
 import time
 import urllib.parse
@@ -61,8 +81,11 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import config, telemetry
 from ..core import tracing
-from ..resilience.errors import NodeUnavailable, ReproError
+from ..resilience import faults
+from ..resilience.errors import NodeUnavailable, QuotaExceeded, ReproError
 from ..service.jobs import JobSpec
+from .admission import ANONYMOUS_TENANT, TENANT_HEADER, RetryBudget, \
+    TenantQuotas
 from .nodes import ALIVE, NodeRegistry
 from .router import Router, http_request
 
@@ -70,9 +93,6 @@ __all__ = ["FleetServer", "make_gateway", "RETRY_AFTER_S"]
 
 #: Retry-After hint on 503s: one heartbeat is enough to revive a node.
 RETRY_AFTER_S = 2
-
-#: Specs remembered for loss-resubmission (FIFO-bounded).
-SPEC_CACHE_SIZE = 4096
 
 
 class FleetServer(ThreadingHTTPServer):
@@ -84,19 +104,38 @@ class FleetServer(ThreadingHTTPServer):
     request_queue_size = 32
 
     def __init__(self, addr: Tuple[str, int], registry: NodeRegistry,
-                 node_timeout_s: float = 60.0):
+                 node_timeout_s: float = 60.0,
+                 quota: Optional[float] = None,
+                 quota_burst: Optional[float] = None,
+                 retry_budget: Optional[float] = None,
+                 spec_cache_size: Optional[int] = None):
         super().__init__(addr, _GatewayHandler)
         self.registry = registry
-        self.router = Router(registry, timeout_s=node_timeout_s)
+        self.quotas = TenantQuotas(
+            config.fleet_quota() if quota is None else quota,
+            config.fleet_quota_burst() if quota_burst is None else quota_burst)
+        self.retry_budget = RetryBudget(
+            config.fleet_retry_budget() if retry_budget is None
+            else retry_budget)
+        self.router = Router(registry, timeout_s=node_timeout_s,
+                             budget=self.retry_budget)
         self.node_timeout_s = node_timeout_s
         self.request_timeout = config.http_timeout()
+        self.spec_cache_size = max(1, (
+            config.fleet_spec_cache() if spec_cache_size is None
+            else int(spec_cache_size)))
         self._lock = threading.Lock()
         #: job id -> spec dict of submits this gateway routed, so a job
-        #: that died with its node can be resubmitted to a replica.
+        #: that died with its node can be resubmitted to a replica
+        #: (LRU-bounded at ``spec_cache_size``; evictions are counted).
         self.spec_cache: "collections.OrderedDict[str, dict]" = \
             collections.OrderedDict()
         #: batch id -> scatter record for batches split across shards.
         self.scatter: Dict[str, dict] = {}
+        #: job ids whose results this gateway already replicated to every
+        #: live co-owner (LRU-bounded alongside the spec cache).
+        self._replicated: "collections.OrderedDict[str, None]" = \
+            collections.OrderedDict()
 
     # -- shared state helpers (handler threads) --------------------------------
 
@@ -104,12 +143,21 @@ class FleetServer(ThreadingHTTPServer):
         with self._lock:
             self.spec_cache[job_id] = spec_dict
             self.spec_cache.move_to_end(job_id)
-            while len(self.spec_cache) > SPEC_CACHE_SIZE:
+            evicted = 0
+            while len(self.spec_cache) > self.spec_cache_size:
                 self.spec_cache.popitem(last=False)
+                evicted += 1
+        if evicted and telemetry.enabled():
+            telemetry.fleet_spec_cache_evictions().inc(evicted)
 
     def recall_spec(self, job_id: str) -> Optional[dict]:
         with self._lock:
-            return self.spec_cache.get(job_id)
+            spec = self.spec_cache.get(job_id)
+            if spec is not None:
+                # True LRU: a recalled spec is a *live* job the gateway
+                # may yet have to resubmit -- keep it over cold entries.
+                self.spec_cache.move_to_end(job_id)
+            return spec
 
     def forget_spec(self, job_id: str) -> None:
         with self._lock:
@@ -122,6 +170,59 @@ class FleetServer(ThreadingHTTPServer):
     def recall_scatter(self, batch_id: str) -> Optional[dict]:
         with self._lock:
             return self.scatter.get(batch_id)
+
+    # -- write replication -----------------------------------------------------
+
+    def maybe_replicate(self, job_id: str, result: dict,
+                        from_url: str) -> None:
+        """Push a completed result to the job's other live ring owners.
+
+        Best-effort and idempotent: the replica's ``put_replica`` keeps
+        any document it already holds (results are content-addressed, so
+        the bytes match either way), and a failed push just leaves the
+        job eligible for another attempt on the next done-poll.  The
+        ``fleet.replicate`` fault site covers each push; a ``corrupt``
+        kind drops the push on the floor (a garbled copy the replica's
+        checksum would refuse anyway).
+        """
+        with self._lock:
+            if job_id in self._replicated:
+                return
+        smap = self.registry.shard_map()
+        states = {n["url"]: n["state"] for n in smap.nodes}
+        targets = [u for u in smap.owners(job_id)
+                   if u != from_url and states.get(u) == ALIVE]
+        if not targets:
+            return
+        all_ok = True
+        for target in targets:
+            outcome = "ok"
+            try:
+                if faults.hit("fleet.replicate") == "corrupt":
+                    raise OSError("injected: replication payload lost")
+                status, body, _ = http_request(
+                    "PUT", f"{target}/results/{job_id}",
+                    payload={"result": result, "node": from_url},
+                    headers={"X-Repro-Replicate": "1",
+                             "X-Repro-Shard-Version":
+                                 str(self.registry.version)},
+                    timeout=self.node_timeout_s)
+                if status != 200:
+                    outcome = "error"
+                elif body.get("dedup"):
+                    outcome = "dedup"
+            except Exception:  # noqa: BLE001 - replication is best-effort
+                outcome = "error"
+            if outcome == "error":
+                all_ok = False
+            if telemetry.enabled():
+                telemetry.fleet_replications().labels(outcome=outcome).inc()
+        if all_ok:
+            with self._lock:
+                self._replicated[job_id] = None
+                self._replicated.move_to_end(job_id)
+                while len(self._replicated) > self.spec_cache_size:
+                    self._replicated.popitem(last=False)
 
 
 class _GatewayHandler(BaseHTTPRequestHandler):
@@ -187,6 +288,11 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def _guard(self, handler) -> None:
         try:
             handler()
+        except QuotaExceeded as exc:
+            retry_after = math.ceil(
+                float(exc.details.get("retry_after_s") or 0) or 1)
+            self._send(exc.http_status, exc.payload(),
+                       headers={"Retry-After": str(max(1, retry_after))})
         except NodeUnavailable as exc:
             self._send(exc.http_status, exc.payload(),
                        headers={"Retry-After": str(RETRY_AFTER_S)})
@@ -215,6 +321,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send(400, {"error": f"invalid job spec: {exc}"})
             self._count("submit", 400)
             return
+        self._admit(spec)
         if spec.kind == "batch":
             groups = self._scatter_groups(spec)
             if len(groups) > 1:
@@ -225,6 +332,27 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         if status == 202:
             doc["node"] = url
         self._send(status, doc)
+
+    def _admit(self, spec: JobSpec) -> None:
+        """Charge this submit to its tenant's quota bucket (no-op when
+        quotas are disabled); over quota raises
+        :class:`~repro.resilience.errors.QuotaExceeded` -> 429 +
+        ``Retry-After``, leaving other tenants untouched."""
+        quotas = self.server.quotas
+        if not quotas.enabled:
+            return
+        tenant = self.headers.get(TENANT_HEADER) or ANONYMOUS_TENANT
+        ok, retry_after_s = quotas.try_take(tenant)
+        if ok:
+            return
+        if telemetry.enabled():
+            telemetry.fleet_quota_rejections().inc()
+        self._count("submit", 429)
+        raise QuotaExceeded(
+            f"tenant {tenant!r} is over its submit quota "
+            f"({quotas.rate:g}/s)", tenant=tenant,
+            retry_after_s=retry_after_s, rate_per_s=quotas.rate,
+            job_id=spec.job_id)
 
     def _submit_to_owner(self, spec: JobSpec) -> Tuple[int, dict, str]:
         """Route one spec to its owning node inside a gateway span whose
@@ -343,12 +471,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def _lookup_job(self, job_id: str) -> Tuple[int, dict, str]:
         """Routed GET with loss recovery: when no owner knows a job this
         gateway submitted, resubmit it to a surviving owner (content-
-        addressed ids + store dedup keep this exactly-once in results)."""
+        addressed ids + store dedup keep this exactly-once in results).
+        Resubmissions draw from the global retry budget, and a job first
+        seen ``done`` has its result replicated to the other owners."""
         status, doc, url = self._router.forward(
             "GET", f"/jobs/{job_id}", job_id, retry_404=True)
         if status == 404:
             spec_dict = self.server.recall_spec(job_id)
             if spec_dict is not None:
+                self._take_resubmit_budget(job_id)
                 if telemetry.enabled():
                     telemetry.fleet_resubmits().inc()
                 trace_id = telemetry.new_trace_id()
@@ -359,7 +490,23 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                         headers={"X-Repro-Trace-Id": trace_id})
                 if status == 202:
                     status = 200  # poll answer: the job exists again
+        if (status == 200 and doc.get("state") == "done"
+                and doc.get("result") is not None):
+            self.server.maybe_replicate(job_id, doc["result"], from_url=url)
         return status, doc, url
+
+    def _take_resubmit_budget(self, job_id: str) -> None:
+        """A loss-resubmission is a retry too: draw from the global
+        budget (or answer 503 instead of re-entering a failover storm)."""
+        budget = self.server.retry_budget
+        if not budget.enabled:
+            return
+        if not budget.try_take():
+            raise NodeUnavailable(
+                f"retry budget exhausted; not resubmitting job "
+                f"{job_id[:12]}", budget_exhausted=True)
+        if telemetry.enabled():
+            telemetry.fleet_retry_budget_spent().inc()
 
     def _get(self) -> None:
         path = self.path.split("?")[0]
@@ -433,6 +580,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             "stale": [n["url"] for n in smap.nodes if n["stale"]],
             "split_brain": [n["url"] for n in smap.nodes
                             if n["split_brain"]],
+            "admission": {
+                "quota_per_s": self.server.quotas.rate,
+                "quota_burst": (self.server.quotas.burst
+                                if self.server.quotas.enabled else 0.0),
+                "retry_budget_per_min": self.server.retry_budget.per_minute,
+                "retry_budget_available": (
+                    self.server.retry_budget.available()
+                    if self.server.retry_budget.enabled else None),
+            },
         })
 
     def _metrics(self) -> None:
@@ -528,6 +684,17 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
 def make_gateway(registry: NodeRegistry, host: str = "127.0.0.1",
                  port: int = 0,
-                 node_timeout_s: float = 60.0) -> FleetServer:
-    """Bind the gateway (port 0 = ephemeral; read ``server_port``)."""
-    return FleetServer((host, port), registry, node_timeout_s=node_timeout_s)
+                 node_timeout_s: float = 60.0,
+                 quota: Optional[float] = None,
+                 quota_burst: Optional[float] = None,
+                 retry_budget: Optional[float] = None,
+                 spec_cache_size: Optional[int] = None) -> FleetServer:
+    """Bind the gateway (port 0 = ephemeral; read ``server_port``).
+
+    ``quota``/``quota_burst``/``retry_budget``/``spec_cache_size``
+    default to their fleet config-flag values when ``None``.
+    """
+    return FleetServer((host, port), registry, node_timeout_s=node_timeout_s,
+                       quota=quota, quota_burst=quota_burst,
+                       retry_budget=retry_budget,
+                       spec_cache_size=spec_cache_size)

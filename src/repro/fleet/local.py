@@ -7,6 +7,15 @@ running ``python -m repro serve --port 0`` (ephemeral port, parsed from
 the startup banner), so killing one is real node death: the socket
 refuses, the gateway's router fails over, and in-memory state is gone --
 exactly the failure the fleet is built to absorb.
+
+With ``data_root`` each node gets its own persistent data directory
+(``REPRO_DATA_DIR=<data_root>/node<i>``), which is what makes
+:func:`respawn_node` interesting: the replacement process rebinds the
+dead node's port and rejoins with its shard's results and tuned plans
+warm on disk -- the ``node-reboot-warm`` chaos scenario.  With
+``lease_dir`` every node heartbeats a lease file there, so a
+lease-driven :class:`~repro.fleet.nodes.NodeRegistry` discovers the
+fleet without any static ``--nodes`` list.
 """
 
 from __future__ import annotations
@@ -19,18 +28,27 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["LocalNode", "spawn_local_fleet"]
+__all__ = ["LocalNode", "spawn_local_fleet", "respawn_node"]
 
 _BANNER = "repro service on "
 
 
 class LocalNode:
-    """One spawned ``repro serve`` subprocess and its base URL."""
+    """One spawned ``repro serve`` subprocess and its base URL.
 
-    def __init__(self, proc: subprocess.Popen, url: str, node_id: str):
+    ``cmd``/``env`` record exactly how the process was started so
+    :func:`respawn_node` can bring up a bit-compatible replacement after
+    a kill (same node id, same data directory, same port).
+    """
+
+    def __init__(self, proc: subprocess.Popen, url: str, node_id: str,
+                 cmd: Optional[List[str]] = None,
+                 env: Optional[Dict[str, str]] = None):
         self.proc = proc
         self.url = url
         self.node_id = node_id
+        self.cmd = list(cmd) if cmd else None
+        self.env = dict(env) if env else None
         # Keep draining stdout so the child never blocks on a full pipe.
         self._drain = threading.Thread(target=self._drain_stdout,
                                        daemon=True)
@@ -78,38 +96,72 @@ def _src_root() -> str:
 
 def spawn_local_fleet(n: int, *, workers: int = 1, mode: str = "thread",
                       host: str = "127.0.0.1",
+                      data_root: Optional[str] = None,
+                      lease_dir: Optional[str] = None,
                       extra_env: Optional[Dict[str, str]] = None,
                       extra_args: Optional[List[str]] = None,
                       startup_timeout_s: float = 30.0) -> List[LocalNode]:
     """Start ``n`` independent serve nodes on ephemeral ports.
 
     Each node gets a stable ``REPRO_NODE_ID`` of ``node<i>`` (visible in
-    ``/healthz`` and result provenance).  Raises ``RuntimeError`` --
-    after killing any nodes already up -- if a node fails to print its
-    startup banner in time.
+    ``/healthz`` and result provenance); ``data_root`` additionally
+    gives node *i* the persistent data directory ``<data_root>/node<i>``
+    and ``lease_dir`` makes it heartbeat a membership lease.  Raises
+    ``RuntimeError`` -- after killing any nodes already up -- if a node
+    fails to print its startup banner in time.
     """
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_root() + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     env.update(extra_env or {})
+    if lease_dir:
+        env["REPRO_LEASE_DIR"] = lease_dir
     nodes: List[LocalNode] = []
     try:
         for i in range(n):
             node_env = dict(env, REPRO_NODE_ID=f"node{i}")
+            if data_root:
+                node_env["REPRO_DATA_DIR"] = os.path.join(
+                    data_root, f"node{i}")
+            cmd = [sys.executable, "-m", "repro", "serve",
+                   "--host", host, "--port", "0",
+                   "--workers", str(workers), "--mode", mode,
+                   *(extra_args or [])]
             proc = subprocess.Popen(
-                [sys.executable, "-m", "repro", "serve",
-                 "--host", host, "--port", "0",
-                 "--workers", str(workers), "--mode", mode,
-                 *(extra_args or [])],
-                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
                 text=True, env=node_env)
             url = _wait_for_banner(proc, startup_timeout_s)
-            nodes.append(LocalNode(proc, url, f"node{i}"))
+            nodes.append(LocalNode(proc, url, f"node{i}",
+                                   cmd=cmd, env=node_env))
     except Exception:
         for node in nodes:
             node.kill()
         raise
     return nodes
+
+
+def respawn_node(node: LocalNode,
+                 startup_timeout_s: float = 30.0) -> LocalNode:
+    """Restart a dead node as the same fleet member: same ``node_id``,
+    same data directory (``REPRO_DATA_DIR`` travels in the recorded env)
+    and -- crucially -- the same port, so the ring placement and every
+    cached URL stay valid.  The node's persistent store makes the reboot
+    *warm*: committed results come back as store hits, not re-solves.
+    """
+    if node.cmd is None or node.env is None:
+        raise ValueError("node was not spawned by spawn_local_fleet "
+                         "(no recorded cmd/env to respawn from)")
+    port = node.url.rsplit(":", 1)[1]
+    cmd = list(node.cmd)
+    for i, arg in enumerate(cmd):
+        if arg == "--port":
+            cmd[i + 1] = port
+            break
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=dict(node.env))
+    url = _wait_for_banner(proc, startup_timeout_s)
+    return LocalNode(proc, url, node.node_id, cmd=cmd, env=node.env)
 
 
 def _wait_for_banner(proc: subprocess.Popen, timeout_s: float) -> str:

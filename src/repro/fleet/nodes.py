@@ -22,6 +22,18 @@ Liveness is deliberately simple: ``dead_after`` consecutive probe
 failures mark a node dead; one success revives it.  The router can also
 report a connection failure directly (:meth:`mark_dead`) so a dead node
 is failed over *immediately* rather than a heartbeat later.
+
+Membership is either a static URL list, a shared lease directory
+(``lease_dir`` -- see :mod:`repro.fleet.leases`), or both.  With a lease
+directory, every :meth:`check_once` first syncs membership from the
+lease files: a fresh lease for an unknown URL joins the ring, a removed
+lease leaves it, and an expired lease marks the node dead (kept in the
+ring so its shard placement survives a reboot).  Static URLs are
+permanent members a missing lease never removes.  Every membership
+event bumps the shard-map version, and nodes whose lease has expired
+are *not* probed -- the lease is the liveness authority for its node,
+which is what turns a partition (lease withheld) into clean stale
+detection instead of a probe/lease tug-of-war.
 """
 
 from __future__ import annotations
@@ -95,14 +107,19 @@ class NodeRegistry:
                  timeout_s: float = 5.0,
                  interval_s: Optional[float] = None,
                  vnodes: int = DEFAULT_VNODES,
-                 replicas: int = 2):
+                 replicas: int = 2,
+                 lease_dir: Optional[str] = None):
         urls = [u.rstrip("/") for u in urls]
-        if not urls:
-            raise ValueError("a fleet needs at least one node URL")
+        if not urls and lease_dir is None:
+            raise ValueError("a fleet needs at least one node URL "
+                             "(or a lease directory)")
         if len(set(urls)) != len(urls):
             raise ValueError(f"duplicate node URLs: {urls}")
         self._lock = threading.Lock()
         self._nodes: Dict[str, NodeInfo] = {u: NodeInfo(u) for u in urls}
+        #: Statically configured members: a missing lease never removes
+        #: them (operators pinned these URLs on purpose).
+        self._static = set(urls)
         self._version = 1
         self.dead_after = max(1, int(dead_after))
         self.timeout_s = timeout_s
@@ -111,8 +128,11 @@ class NodeRegistry:
         self.replicas = replicas
         self._ring = HashRing(urls, vnodes=vnodes)
         self.vnodes = vnodes
+        self.lease_dir = lease_dir
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        if lease_dir is not None:
+            self.sync_leases()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -140,11 +160,54 @@ class NodeRegistry:
                 pass  # a probe bug must never kill the heartbeat
             self._stop.wait(self.interval_s)
 
+    # -- lease-file membership -------------------------------------------------
+
+    def sync_leases(self) -> Dict[str, dict]:
+        """Derive membership from the lease directory (no-op without
+        one): fresh leases join, removed leases leave, expired leases
+        mark the node dead but keep its ring placement.  Returns the
+        lease table read (url -> lease info)."""
+        if self.lease_dir is None:
+            return {}
+        from .leases import read_leases
+
+        leases = read_leases(self.lease_dir)
+        with self._lock:
+            changed = False
+            for url, info in leases.items():
+                node = self._nodes.get(url)
+                if node is None:
+                    node = NodeInfo(url, node_id=info.get("node_id"))
+                    self._nodes[url] = node
+                    changed = True
+                if not info["fresh"] and node.state != DEAD:
+                    # Lease expired: the node stopped heartbeating (a
+                    # crash or a partition from the shared directory).
+                    node.state = DEAD
+                    node.fails = max(node.fails, self.dead_after)
+                    changed = True
+            for url in list(self._nodes):
+                if url not in leases and url not in self._static:
+                    # Lease file removed: a graceful leave drops the
+                    # node from membership and the ring entirely.
+                    del self._nodes[url]
+                    changed = True
+            if changed:
+                self._ring = HashRing(list(self._nodes), vnodes=self.vnodes)
+                self._bump_locked()
+        return leases
+
     # -- probing ---------------------------------------------------------------
 
     def check_once(self) -> None:
-        """Probe every node's ``/healthz`` once, synchronously."""
+        """Probe every node's ``/healthz`` once, synchronously (after a
+        membership sync when a lease directory is configured)."""
+        leases = self.sync_leases()
+        stale_leases = {url for url, info in leases.items()
+                        if not info["fresh"]}
         for url in list(self._nodes):
+            if url in stale_leases:
+                continue  # the stale lease already marked it dead
             req = urllib.request.Request(
                 f"{url}/healthz",
                 headers={"X-Repro-Shard-Version": str(self.version)})
@@ -162,7 +225,9 @@ class NodeRegistry:
         """Record a successful probe (revives dead nodes)."""
         doc = healthz or {}
         with self._lock:
-            node = self._nodes[url]
+            node = self._nodes.get(url)
+            if node is None:  # left membership (lease removed) mid-probe
+                return
             node.fails = 0
             node.last_seen = time.time()
             node.healthz = doc
@@ -183,7 +248,9 @@ class NodeRegistry:
     def mark_failure(self, url: str) -> None:
         """Record one failed probe; ``dead_after`` in a row = dead."""
         with self._lock:
-            node = self._nodes[url]
+            node = self._nodes.get(url)
+            if node is None:
+                return
             node.fails += 1
             if node.fails >= self.dead_after and node.state != DEAD:
                 node.state = DEAD
@@ -192,7 +259,9 @@ class NodeRegistry:
     def mark_dead(self, url: str) -> None:
         """Declare a node dead immediately (router saw its socket die)."""
         with self._lock:
-            node = self._nodes[url]
+            node = self._nodes.get(url)
+            if node is None:
+                return
             node.fails = max(node.fails, self.dead_after)
             if node.state != DEAD:
                 node.state = DEAD

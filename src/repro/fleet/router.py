@@ -21,6 +21,13 @@ When every candidate is connection-dead the router raises
 :class:`~repro.resilience.errors.NodeUnavailable`, which the gateway
 maps to 503 + ``Retry-After`` (the taxonomy marks it retryable).
 
+An optional :class:`~repro.fleet.admission.RetryBudget` caps how fast
+failover hops may burn through the fleet: each *additional* candidate
+tried after a connection death costs one token, and an exhausted budget
+raises :class:`NodeUnavailable` instead of hammering the survivors -- a
+flapping node amplifies load only up to the budget rate, and the spend
+is visible as ``repro_fleet_retry_budget_spent_total``.
+
 Every forwarded request carries ``X-Repro-Shard-Version`` so nodes learn
 the fleet's current view (and ``/healthz`` can expose staleness), and
 responses' ``X-Repro-Node`` headers feed learned node ids back into the
@@ -36,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import telemetry
 from ..resilience.errors import NodeUnavailable
+from .admission import RetryBudget
 from .nodes import ALIVE, NodeRegistry
 
 __all__ = ["Router", "http_request"]
@@ -78,9 +86,11 @@ def http_request(method: str, url: str,
 class Router:
     """Routes content keys to their owning nodes, failing over on death."""
 
-    def __init__(self, registry: NodeRegistry, timeout_s: float = 30.0):
+    def __init__(self, registry: NodeRegistry, timeout_s: float = 30.0,
+                 budget: Optional["RetryBudget"] = None):
         self.registry = registry
         self.timeout_s = timeout_s
+        self.budget = budget
 
     # -- placement -------------------------------------------------------------
 
@@ -125,6 +135,8 @@ class Router:
             except _CONNECTION_ERRORS as exc:
                 last_error = exc
                 self._note_death(url, failover=i + 1 < len(urls))
+                if i + 1 < len(urls):
+                    self._spend_retry(job_id, urls)
                 continue
             if retry_404 and status == 404 and i + 1 < len(urls):
                 first_404 = (status, body, url)
@@ -155,6 +167,8 @@ class Router:
             except _CONNECTION_ERRORS as exc:
                 last_error = exc
                 self._note_death(url, failover=i + 1 < len(urls))
+                if i + 1 < len(urls):
+                    self._spend_retry(job_id, urls)
                 continue
             return resp, url
         raise NodeUnavailable(
@@ -165,3 +179,16 @@ class Router:
         self.registry.mark_dead(url)
         if telemetry.enabled() and failover:
             telemetry.fleet_failovers().inc()
+
+    def _spend_retry(self, job_id: str, urls: List[str]) -> None:
+        """Draw one failover hop from the retry budget (if any); an
+        exhausted budget aborts the failover chain rather than letting a
+        flapping node amplify load without bound."""
+        if self.budget is None or not self.budget.enabled:
+            return
+        if not self.budget.try_take():
+            raise NodeUnavailable(
+                f"retry budget exhausted failing over job {job_id[:12]}",
+                owners=urls, budget_exhausted=True)
+        if telemetry.enabled():
+            telemetry.fleet_retry_budget_spent().inc()

@@ -30,6 +30,7 @@ __all__ = [
     "CheckpointMismatch",
     "InjectedFault",
     "NodeUnavailable",
+    "QuotaExceeded",
     "RankCrash",
     "ResilienceCounters",
     "RESILIENCE_COUNTERS",
@@ -118,13 +119,22 @@ class NodeUnavailable(ReproError):
     http_status = 503
 
 
+class QuotaExceeded(ReproError):
+    """A tenant blew through its admission-control token bucket at the
+    fleet gateway.  Transient by definition -- the bucket refills at the
+    quota rate -- so the gateway answers 429 with a ``Retry-After`` hint
+    sized to the refill time of one token."""
+
+    http_status = 429
+
+
 #: Name -> class map used to rehydrate typed errors that crossed a
 #: process boundary as strings (forked-worker spool files).
 _TAXONOMY = {
     cls.__name__: cls
     for cls in (ReproError, SolverDiverged, CorruptArtifact,
                 EngineUnavailable, CheckpointMismatch, InjectedFault,
-                RankCrash, NodeUnavailable)
+                RankCrash, NodeUnavailable, QuotaExceeded)
 }
 
 

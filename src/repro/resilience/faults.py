@@ -76,6 +76,8 @@ SITES = (
     "job.run",           # top of run_job (any worker, incl. batch jobs)
     "cluster.rank",      # each rank's sweep block ("cluster.rank.N" targets rank N)
     "http.request",      # top of every HTTP handler
+    "fleet.replicate",   # gateway push of a result to the ring's replica
+    "fleet.lease",       # node heartbeat lease-file write
 )
 
 KINDS = ("raise", "crash", "corrupt")

@@ -8,9 +8,18 @@ Method    Path                    Meaning
 ========  ======================  =========================================
 POST      ``/jobs``               submit a JobSpec (JSON body); 202 with
                                   the job record, 400 on an invalid spec,
-                                  503 + reason under backpressure
+                                  503 + ``Retry-After`` under backpressure
 GET       ``/jobs``               list submitted jobs (summaries)
-GET       ``/jobs/<id>``          one job, including its result when done
+GET       ``/jobs/<id>``          one job, including its result when done;
+                                  a job this process never ran but whose
+                                  result is in the persistent store (a
+                                  pre-reboot commit, or a replicated copy)
+                                  answers as a synthesized ``done``
+                                  document served from the store
+PUT       ``/results/<id>``       accept a replicated result document
+                                  (requires the ``X-Repro-Replicate``
+                                  header; idempotent -- an existing
+                                  document wins)
 GET       ``/jobs/<id>/events``   live progress stream: one JSON event per
                                   line, chunked transfer, ends on the
                                   job's terminal event (``repro tail``)
@@ -56,7 +65,7 @@ import json
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import uuid
 
@@ -72,6 +81,10 @@ __all__ = ["ServiceServer", "make_server"]
 #: The event stream gives up after this long with no new events (the job
 #: is live but silent -- a solver between convergence checks).
 EVENTS_IDLE_TIMEOUT_S = 60.0
+
+#: Retry-After hint on backpressure 503s: a queue slot usually frees up
+#: within a couple of seconds on the workloads this service runs.
+BACKPRESSURE_RETRY_AFTER_S = 2
 
 
 class ServiceServer(ThreadingHTTPServer):
@@ -127,12 +140,15 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header("X-Repro-Shard-Version",
                              str(self.server.shard_version))
 
-    def _send(self, code: int, payload) -> None:
+    def _send(self, code: int, payload,
+              headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self._node_headers()
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -190,6 +206,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:
         self._guard(self._delete)
 
+    def do_PUT(self) -> None:
+        self._guard(self._put)
+
     def _post(self) -> None:
         if self.path.split("?")[0] != "/jobs":
             self._send(404, {"error": f"no such endpoint: POST {self.path}"})
@@ -203,9 +222,44 @@ class _Handler(BaseHTTPRequestHandler):
             job = self._sched.submit(
                 spec, trace_id=self.headers.get("X-Repro-Trace-Id") or None)
         except QueueFullError as exc:
-            self._send(503, {"error": exc.reason, "rejected": True})
+            self._send(503, {"error": exc.reason, "rejected": True},
+                       headers={"Retry-After":
+                                str(BACKPRESSURE_RETRY_AFTER_S)})
             return
         self._send(202, job.to_dict(include_result=False))
+
+    def _result_path_id(self) -> Optional[str]:
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 2 and parts[0] == "results":
+            return parts[1]
+        return None
+
+    def _put(self) -> None:
+        """``PUT /results/<id>``: accept a replicated result document.
+
+        Gated on the ``X-Repro-Replicate`` header so a stray PUT cannot
+        quietly seed the store.  Idempotent: an existing document (this
+        node computed it, or an earlier replication landed it) wins --
+        ids are content hashes, so the bytes are identical either way.
+        """
+        job_id = self._result_path_id()
+        if job_id is None:
+            self._send(404, {"error": f"no such endpoint: PUT {self.path}"})
+            return
+        if not self.headers.get("X-Repro-Replicate"):
+            self._send(403, {"error": "replica writes require the "
+                                      "X-Repro-Replicate header"})
+            return
+        try:
+            body = self._read_body()
+            result = body["result"]
+        except (ValueError, TypeError, KeyError) as exc:
+            self._send(400, {"error": f"invalid replica document: {exc}"})
+            return
+        stored = self._sched.store.put_replica(
+            job_id, result, replicated_from=body.get("node") or None)
+        self._send(200, {"id": job_id, "stored": stored,
+                         "dedup": not stored})
 
     def _get(self) -> None:
         path = self.path.split("?")[0]
@@ -217,7 +271,11 @@ class _Handler(BaseHTTPRequestHandler):
         if job_id is not None:
             job = self._sched.get(job_id)
             if job is None:
-                self._send(404, {"error": f"unknown job {job_id}"})
+                doc = self._store_fallback(job_id)
+                if doc is None:
+                    self._send(404, {"error": f"unknown job {job_id}"})
+                else:
+                    self._send(200, doc)
             else:
                 self._send(200, job.to_dict())
             return
@@ -253,6 +311,30 @@ class _Handler(BaseHTTPRequestHandler):
             })
         else:
             self._send(404, {"error": f"no such endpoint: GET {path}"})
+
+    def _store_fallback(self, job_id: str) -> Optional[dict]:
+        """A job this process never ran, served from the persistent
+        store: the warm-reboot and replica-promotion read path.  The
+        ``result`` payload is the stored bytes verbatim; only the
+        envelope is synthesized (``from_store`` marks it, provenance
+        rides alongside)."""
+        stored = self._sched.store.get_doc(job_id)
+        if stored is None:
+            return None
+        doc = {
+            "id": job_id,
+            "state": "done",
+            "from_store": True,
+            "attempts": 0,
+            "dedup_count": 0,
+            "error": None,
+            "result": stored["result"],
+        }
+        if stored.get("node"):
+            doc["computed_by"] = stored["node"]
+        if stored.get("replicated_from"):
+            doc["replicated_from"] = stored["replicated_from"]
+        return doc
 
     def _metrics_json(self) -> dict:
         """The legacy JSON rollup (every subsystem's native counters)

@@ -45,14 +45,18 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.replica_puts = 0
         if root:
             os.makedirs(root, exist_ok=True)
 
     def _path(self, job_id: str) -> Optional[str]:
         return os.path.join(self.root, f"result-{job_id}.json") if self.root else None
 
-    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
-        """The stored result, counting the lookup as a hit or miss."""
+    def _load(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Load one full document (memory, then disk) without touching
+        the hit/miss counters -- the shared machinery of :meth:`get`,
+        :meth:`get_doc` and the idempotence check of
+        :meth:`put_replica`."""
         with self._lock:
             doc = self._mem.get(job_id)
         if doc is None:
@@ -69,6 +73,11 @@ class ResultStore:
                     doc = disk
                     with self._lock:
                         self._mem[job_id] = doc
+        return doc
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The stored result, counting the lookup as a hit or miss."""
+        doc = self._load(job_id)
         with self._lock:
             if doc is None:
                 self.misses += 1
@@ -76,13 +85,20 @@ class ResultStore:
                 self.hits += 1
         return None if doc is None else doc["result"]
 
-    def put(self, job_id: str, result: Dict[str, Any]) -> None:
-        doc = {"version": STORE_VERSION, "id": job_id, "result": result}
-        if self.node_id:
-            doc["node"] = self.node_id
+    def get_doc(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The full stored document (result + provenance: ``node``,
+        ``replicated_from``), counting the lookup like :meth:`get`.
+        Serving layers use this to answer warm reads after a reboot or a
+        replica promotion without losing the provenance trail."""
+        doc = self._load(job_id)
         with self._lock:
-            self._mem[job_id] = doc
-            self.puts += 1
+            if doc is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return doc
+
+    def _commit(self, job_id: str, doc: Dict[str, Any]) -> None:
         path = self._path(job_id)
         if path is not None:
             try:
@@ -92,6 +108,37 @@ class ResultStore:
                     corrupt_file(path)
             except OSError:
                 pass  # persistence is best-effort
+
+    def put(self, job_id: str, result: Dict[str, Any]) -> None:
+        doc = {"version": STORE_VERSION, "id": job_id, "result": result}
+        if self.node_id:
+            doc["node"] = self.node_id
+        with self._lock:
+            self._mem[job_id] = doc
+            self.puts += 1
+        self._commit(job_id, doc)
+
+    def put_replica(self, job_id: str, result: Dict[str, Any],
+                    replicated_from: Optional[str] = None) -> bool:
+        """Accept a replicated copy of a result computed elsewhere.
+
+        Idempotent and dedup-respecting: a document already present
+        (computed here, or already replicated) wins -- results are
+        content-addressed, so the bytes are the same either way.
+        Returns ``True`` when the copy was actually stored.
+        """
+        if self._load(job_id) is not None:
+            return False
+        doc = {"version": STORE_VERSION, "id": job_id, "result": result}
+        if self.node_id:
+            doc["node"] = self.node_id
+        if replicated_from:
+            doc["replicated_from"] = replicated_from
+        with self._lock:
+            self._mem[job_id] = doc
+            self.replica_puts += 1
+        self._commit(job_id, doc)
+        return True
 
     def __contains__(self, job_id: str) -> bool:
         with self._lock:
@@ -122,4 +169,5 @@ class ResultStore:
         entries = len(self)
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
-                    "puts": self.puts, "entries": entries}
+                    "puts": self.puts, "replica_puts": self.replica_puts,
+                    "entries": entries}

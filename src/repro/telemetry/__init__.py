@@ -246,6 +246,33 @@ def fleet_resubmits() -> Counter:
         "their home node mid-flight")
 
 
+def fleet_replications() -> Counter:
+    return METRICS.counter(
+        "fleet_replications_total",
+        "Result documents the gateway pushed to replica stores, by "
+        "outcome (ok, dedup, error)",
+        labelnames=("outcome",))
+
+
+def fleet_quota_rejections() -> Counter:
+    return METRICS.counter(
+        "fleet_quota_rejections_total",
+        "Submits the gateway rejected with 429 for an over-quota tenant")
+
+
+def fleet_retry_budget_spent() -> Counter:
+    return METRICS.counter(
+        "fleet_retry_budget_spent_total",
+        "Failover/resubmit retries that drew from the gateway's global "
+        "retry budget")
+
+
+def fleet_spec_cache_evictions() -> Counter:
+    return METRICS.counter(
+        "fleet_spec_cache_evictions_total",
+        "Specs evicted from the gateway's LRU resubmission cache")
+
+
 def fleet_nodes() -> Gauge:
     return METRICS.gauge("fleet_nodes",
                          "Fleet nodes by liveness state",

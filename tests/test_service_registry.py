@@ -134,7 +134,8 @@ class TestResultStore:
         assert store.get("abc") == {"kind": "solve", "x": 1.5}
         assert "abc" in store and len(store) == 1
         c = store.counters()
-        assert c == {"hits": 1, "misses": 1, "puts": 1, "entries": 1}
+        assert c == {"hits": 1, "misses": 1, "puts": 1,
+                     "replica_puts": 0, "entries": 1}
 
     def test_floats_roundtrip_exactly(self, tmp_path):
         # Served results must compare equal to fresh executions; JSON
